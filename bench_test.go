@@ -1,0 +1,274 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (HPCA'02 §4), plus ablations of this reproduction's own
+// design choices and microbenchmarks of the substrates.
+//
+// The figure benchmarks are heavyweight end-to-end runs; use
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// to regenerate each figure once. Results are reported as custom
+// metrics (hmean speed-up, accuracy, ...) in addition to wall time.
+// cmd/spmt-experiments renders the same data as tables.
+package spmt_test
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/expt"
+	"repro/internal/reach"
+	"repro/internal/vpred"
+	"repro/internal/workload"
+)
+
+// suite is shared across figure benchmarks; its caches make repeated
+// iterations cheap.
+var (
+	suiteOnce sync.Once
+	suiteVal  *expt.Suite
+	suiteErr  error
+)
+
+func suite(b *testing.B) *expt.Suite {
+	suiteOnce.Do(func() {
+		suiteVal, suiteErr = expt.NewSuite(workload.SizeSmall, nil)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+// lastFloat extracts the last numeric column of a table's summary row
+// (the figure's aggregate) as a reported metric.
+func lastFloat(b *testing.B, cells []string) float64 {
+	for i := len(cells) - 1; i >= 0; i-- {
+		s := cells[i]
+		if s == "" {
+			continue
+		}
+		if s[len(s)-1] == '%' {
+			s = s[:len(s)-1]
+		}
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+	}
+	b.Logf("no numeric summary in %v", cells)
+	return 0
+}
+
+func benchFigure(b *testing.B, id, metric string) {
+	s := suite(b)
+	b.ResetTimer()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		tab, err := s.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = lastFloat(b, tab.Rows[len(tab.Rows)-1])
+	}
+	b.ReportMetric(v, metric)
+}
+
+func BenchmarkFig2PairSelection(b *testing.B)  { benchFigure(b, "fig2", "selected-pairs") }
+func BenchmarkFig3ProfileSpeedup(b *testing.B) { benchFigure(b, "fig3", "hmean-speedup") }
+func BenchmarkFig4ActiveThreads(b *testing.B)  { benchFigure(b, "fig4", "amean-active") }
+func BenchmarkFig5aRemoval(b *testing.B)       { benchFigure(b, "fig5a", "hmean-speedup-200") }
+func BenchmarkFig5bOccurrences(b *testing.B)   { benchFigure(b, "fig5b", "hmean-speedup-16occ") }
+func BenchmarkFig6Reassign(b *testing.B)       { benchFigure(b, "fig6", "hmean-speedup-reassign") }
+func BenchmarkFig7aThreadSize(b *testing.B)    { benchFigure(b, "fig7a", "amean-thread-size") }
+func BenchmarkFig7bMinSize(b *testing.B)       { benchFigure(b, "fig7b", "hmean-speedup-min32") }
+func BenchmarkFig8VsHeuristics(b *testing.B)   { benchFigure(b, "fig8", "profile-vs-heur-ratio") }
+func BenchmarkFig9aVPAccuracy(b *testing.B)    { benchFigure(b, "fig9a", "context-heur-accuracy-pct") }
+func BenchmarkFig9bStrideSpeedup(b *testing.B) { benchFigure(b, "fig9b", "hmean-stride-heur") }
+func BenchmarkFig10aCriteriaAccuracy(b *testing.B) {
+	benchFigure(b, "fig10a", "context-pred-accuracy-pct")
+}
+func BenchmarkFig10bCriteriaSpeedup(b *testing.B) { benchFigure(b, "fig10b", "hmean-predictable") }
+func BenchmarkFig11Overhead(b *testing.B)         { benchFigure(b, "fig11", "hmean-retained-heur") }
+func BenchmarkFig12FourTU(b *testing.B)           { benchFigure(b, "fig12", "hmean-stride-ov-heur") }
+
+// --- Ablations of this reproduction's design choices (DESIGN.md §5) ---
+
+// BenchmarkAblationSpawnWindow quantifies the misspeculation-window
+// model applied to profile-table pairs.
+func BenchmarkAblationSpawnWindow(b *testing.B) {
+	for _, factor := range []float64{0, 2, 4, 8} {
+		b.Run(fmt.Sprintf("factor-%g", factor), func(b *testing.B) {
+			art, pairs, base := pipelineFor(b, "gcc")
+			b.ResetTimer()
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				res, err := spmt.Simulate(art.Trace, spmt.SimConfig{
+					TUs: 16, Pairs: pairs, SpawnWindowFactor: factor,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = float64(base) / float64(res.Cycles)
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationPredictorBudget sweeps the stride predictor's
+// hardware budget around the paper's 16KB.
+func BenchmarkAblationPredictorBudget(b *testing.B) {
+	for _, kb := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			art, pairs, base := pipelineFor(b, "perl")
+			b.ResetTimer()
+			var sp, acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := spmt.Simulate(art.Trace, spmt.SimConfig{
+					TUs: 16, Pairs: pairs, Predictor: spmt.Stride,
+					PredictorBytes: kb << 10, SpawnWindowFactor: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = float64(base) / float64(res.Cycles)
+				acc = res.VPAccuracy()
+			}
+			b.ReportMetric(sp, "speedup")
+			b.ReportMetric(100*acc, "accuracy-pct")
+		})
+	}
+}
+
+// BenchmarkAblationCoverage sweeps the CFG pruning coverage around the
+// paper's 90%.
+func BenchmarkAblationCoverage(b *testing.B) {
+	for _, cov := range []float64{0.80, 0.90, 0.97} {
+		b.Run(fmt.Sprintf("cov-%.0f", cov*100), func(b *testing.B) {
+			prog := spmt.MustGenerate("li", spmt.SizeSmall)
+			b.ResetTimer()
+			var sel float64
+			for i := 0; i < b.N; i++ {
+				art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{Coverage: cov})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pairs, err := spmt.SelectPairs(art, spmt.SelectConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sel = float64(pairs.Len())
+			}
+			b.ReportMetric(sel, "selected-pairs")
+		})
+	}
+}
+
+// BenchmarkAblationReachEngine compares the exact matrix engine against
+// the trace-empirical estimator on the same pruned graph.
+func BenchmarkAblationReachEngine(b *testing.B) {
+	prog := spmt.MustGenerate("m88ksim", spmt.SizeSmall)
+	art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("matrix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reach.Compute(art.Graph); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("empirical", func(b *testing.B) {
+		visits := reach.VisitsFromTrace(art.Trace, art.Graph)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			reach.Empirical(art.Graph, visits)
+		}
+	})
+}
+
+// --- Substrate microbenchmarks ---
+
+func BenchmarkEmulator(b *testing.B) {
+	prog := spmt.MustGenerate("compress", spmt.SizeSmall)
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		res, err := emu.Run(prog, emu.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = int64(res.Instrs)
+	}
+	b.ReportMetric(float64(instrs), "instrs/op")
+}
+
+func BenchmarkSimulator16TU(b *testing.B) {
+	art, pairs, _ := pipelineFor(b, "compress")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 16, Pairs: pairs, SpawnWindowFactor: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(art.Trace.Len()), "instrs/op")
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*40)&0xffff, int64(i))
+	}
+}
+
+func BenchmarkStridePredictor(b *testing.B) {
+	p := vpred.NewStride(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(10, 20, 5)
+		p.Update(10, 20, 5, uint64(i)*8)
+	}
+}
+
+// --- shared pipeline helper ---
+
+var (
+	pipeMu    sync.Mutex
+	pipeCache = map[string]*pipeArt{}
+)
+
+type pipeArt struct {
+	art   *spmt.Artifacts
+	pairs *spmt.PairTable
+	base  int64
+}
+
+func pipelineFor(b *testing.B, name string) (*spmt.Artifacts, *spmt.PairTable, int64) {
+	pipeMu.Lock()
+	defer pipeMu.Unlock()
+	if pa, ok := pipeCache[name]; ok {
+		return pa.art, pa.pairs, pa.base
+	}
+	prog := spmt.MustGenerate(name, spmt.SizeSmall)
+	art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := spmt.SelectPairs(art, spmt.SelectConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pa := &pipeArt{art: art, pairs: pairs, base: base.Cycles}
+	pipeCache[name] = pa
+	return pa.art, pa.pairs, pa.base
+}

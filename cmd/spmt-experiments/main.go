@@ -1,0 +1,83 @@
+// Command spmt-experiments regenerates the paper's evaluation: every
+// figure of HPCA'02 §4 as an ASCII table (optionally CSV), over the
+// synthetic SpecInt95-like suite.
+//
+// Usage:
+//
+//	spmt-experiments [-figure all|fig3|fig9b|...] [-size test|small|full]
+//	                 [-bench go,gcc,...] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/workload"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure to regenerate (all, fig2, fig3, fig4, fig5a, fig5b, fig6, fig7a, fig7b, fig8, fig9a, fig9b, fig10a, fig10b, fig11, fig12)")
+	sizeFlag := flag.String("size", "full", "workload size class: test, small, full")
+	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+	flag.Parse()
+
+	size, err := parseSize(*sizeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	if *benchFlag != "" {
+		names = strings.Split(*benchFlag, ",")
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building pipeline (size=%s)...\n", size)
+	suite, err := expt.NewSuite(size, names)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pipeline ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	ids := expt.FigureIDs()
+	if *figure != "all" {
+		ids = strings.Split(*figure, ",")
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		tab, err := suite.Run(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			if err := tab.RenderCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		} else if err := tab.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func parseSize(s string) (workload.SizeClass, error) {
+	switch s {
+	case "test":
+		return workload.SizeTest, nil
+	case "small":
+		return workload.SizeSmall, nil
+	case "full":
+		return workload.SizeFull, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (want test, small, or full)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spmt-experiments:", err)
+	os.Exit(1)
+}

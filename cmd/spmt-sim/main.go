@@ -1,0 +1,151 @@
+// Command spmt-sim runs one benchmark through the full pipeline and
+// simulates it on the Clustered Speculative Multithreaded Processor
+// under a chosen spawning policy and configuration, printing the
+// detailed statistics.
+//
+// Usage:
+//
+//	spmt-sim -bench ijpeg [-size small] [-policy profile|heuristics|none]
+//	         [-tus 16] [-predictor perfect|stride|context|last-value]
+//	         [-overhead 8] [-removal 50] [-occurrences 8] [-reassign]
+//	         [-minsize 32] [-criterion distance|independent|predictable]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "ijpeg", "benchmark name (go m88ksim gcc compress li ijpeg perl vortex)")
+	sizeFlag := flag.String("size", "small", "workload size: test, small, full")
+	policy := flag.String("policy", "profile", "spawning policy: profile, heuristics, none")
+	criterion := flag.String("criterion", "distance", "CQIP ordering criterion: distance, independent, predictable")
+	tus := flag.Int("tus", 16, "thread units")
+	predictor := flag.String("predictor", "perfect", "live-in predictor: perfect, stride, context, last-value")
+	overhead := flag.Int64("overhead", 0, "thread initialisation overhead in cycles")
+	removal := flag.Int64("removal", 0, "alone-cycle pair-removal threshold (0 = off)")
+	occurrences := flag.Int("occurrences", 1, "alone occurrences before removal")
+	reassign := flag.Bool("reassign", false, "enable CQIP reassign policy")
+	minSize := flag.Int("minsize", 0, "minimum thread size enforcement (0 = off)")
+	window := flag.Float64("window", 4, "misspeculation window factor for profile pairs")
+	flag.Parse()
+
+	size, err := parseSize(*sizeFlag)
+	check(err)
+	prog, err := spmt.Generate(*bench, size)
+	check(err)
+	fmt.Printf("benchmark %s (%s): %d static instructions\n", *bench, size, prog.Len())
+
+	art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	check(err)
+	fmt.Printf("trace: %d dynamic instructions, pruned CFG: %d nodes (%.1f%% coverage)\n",
+		art.Trace.Len(), len(art.Graph.Nodes), 100*art.Graph.Coverage)
+
+	var pairs *spmt.PairTable
+	switch *policy {
+	case "profile":
+		crit, err := parseCriterion(*criterion)
+		check(err)
+		pairs, err = spmt.SelectPairs(art, spmt.SelectConfig{Criterion: crit})
+		check(err)
+		fmt.Printf("profile pairs: %d selected of %d candidates\n", pairs.Len(), pairs.TotalCandidates)
+	case "heuristics":
+		pairs = spmt.HeuristicPairs(art, spmt.CombinedHeuristics)
+		fmt.Printf("heuristic pairs: %d\n", pairs.Len())
+	case "none":
+	default:
+		check(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	pk, err := parsePredictor(*predictor)
+	check(err)
+
+	base, err := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 1})
+	check(err)
+
+	cfg := spmt.SimConfig{
+		TUs: *tus, Pairs: pairs, Predictor: pk,
+		SpawnOverhead: *overhead, RemovalCycles: *removal,
+		RemovalOccurrences: *occurrences, Reassign: *reassign,
+		MinThreadSize: *minSize, SpawnWindowFactor: *window,
+	}
+	res, err := spmt.Simulate(art.Trace, cfg)
+	check(err)
+
+	fmt.Printf("\nbaseline (1 TU):      %10d cycles  IPC %.2f\n", base.Cycles, base.IPC)
+	fmt.Printf("SpMT (%2d TUs):        %10d cycles  IPC %.2f\n", *tus, res.Cycles, res.IPC)
+	fmt.Printf("speed-up:             %10.2f\n", spmt.Speedup(base, res))
+	fmt.Printf("active threads (avg): %10.2f   allocated: %.2f\n", res.AvgActiveThreads, res.AvgAllocatedThreads)
+	fmt.Printf("threads committed:    %10d   avg size: %.1f instructions\n", res.ThreadsCommitted, res.AvgThreadSize)
+	fmt.Printf("spawns:               %10d   blocked: noTU=%d occupied=%d region=%d\n",
+		res.Spawns, res.SpawnsBlockedNoTU, res.SpawnsBlockedOccupied, res.SpawnsBlockedRegion)
+	fmt.Printf("squashes:             control=%d memory=%d killed=%d mispredict-stalls=%d\n",
+		res.ControlSquashes, res.MemViolationSquashes, res.ThreadsKilled, res.MispredictStalls)
+	if res.VPLookups > 0 {
+		fmt.Printf("value prediction:     %d lookups, %.1f%% accuracy\n", res.VPLookups, 100*res.VPAccuracy())
+	}
+	fmt.Printf("pairs removed:        alone=%d min-size=%d\n", res.PairsRemovedAlone, res.PairsRemovedMinSize)
+	fmt.Printf("branches:             %d (%.2f%% mispredicted)\n", res.Branches,
+		100*float64(res.BranchMispredicts)/float64(max64(res.Branches, 1)))
+	fmt.Printf("cache:                %d hits / %d misses\n", res.CacheHits, res.CacheMisses)
+	fmt.Printf("SVC:                  %d forwards, %d violations\n", res.SVCForwards, res.SVCViolations)
+}
+
+func parseSize(s string) (workload.SizeClass, error) {
+	switch s {
+	case "test":
+		return workload.SizeTest, nil
+	case "small":
+		return workload.SizeSmall, nil
+	case "full":
+		return workload.SizeFull, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func parseCriterion(s string) (core.Criterion, error) {
+	switch s {
+	case "distance":
+		return core.MaxDistance, nil
+	case "independent":
+		return core.MaxIndependent, nil
+	case "predictable":
+		return core.MaxPredictable, nil
+	}
+	return 0, fmt.Errorf("unknown criterion %q", s)
+}
+
+func parsePredictor(s string) (cluster.PredictorKind, error) {
+	switch s {
+	case "perfect":
+		return cluster.Perfect, nil
+	case "stride":
+		return cluster.Stride, nil
+	case "context":
+		return cluster.Context, nil
+	case "last-value":
+		return cluster.LastValue, nil
+	}
+	return 0, fmt.Errorf("unknown predictor %q", s)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmt-sim:", err)
+		os.Exit(1)
+	}
+}

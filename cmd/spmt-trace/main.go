@@ -1,0 +1,138 @@
+// Command spmt-trace generates, saves, loads, and inspects dynamic
+// traces in the library's binary format — useful for separating the
+// (deterministic but slow) emulation step from repeated simulation
+// experiments.
+//
+// Usage:
+//
+//	spmt-trace -bench gcc -size full -out gcc.trace      # emulate & save
+//	spmt-trace -bench gcc -in gcc.trace -stats           # load & inspect
+//	spmt-trace -bench gcc -in gcc.trace -dump 20         # first N events
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark name (used to regenerate the program)")
+	sizeFlag := flag.String("size", "small", "workload size: test, small, full")
+	out := flag.String("out", "", "write the trace to this file")
+	in := flag.String("in", "", "read the trace from this file instead of emulating")
+	dump := flag.Int("dump", 0, "disassemble the first N trace events")
+	stats := flag.Bool("stats", false, "print opcode/branch statistics")
+	flag.Parse()
+
+	size, err := parseSize(*sizeFlag)
+	check(err)
+	prog, err := spmt.Generate(*bench, size)
+	check(err)
+
+	var tr *trace.Trace
+	if *in != "" {
+		f, err := os.Open(*in)
+		check(err)
+		defer f.Close()
+		tr = &trace.Trace{Program: prog}
+		_, err = tr.ReadFrom(bufio.NewReader(f))
+		check(err)
+		check(tr.Validate())
+	} else {
+		res, err := emu.Run(prog, emu.Config{CollectTrace: true})
+		check(err)
+		tr = res.Trace
+	}
+	fmt.Printf("%s: %d dynamic instructions\n", *bench, tr.Len())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		w := bufio.NewWriter(f)
+		n, err := tr.WriteTo(w)
+		check(err)
+		check(w.Flush())
+		check(f.Close())
+		fmt.Printf("wrote %d bytes to %s\n", n, *out)
+	}
+
+	if *stats {
+		printStats(tr)
+	}
+	if *dump > 0 {
+		for i := 0; i < *dump && i < tr.Len(); i++ {
+			e := &tr.Events[i]
+			ins := isa.Instruction{Op: e.Op, Dst: e.Dst, Src1: e.Src1, Src2: e.Src2}
+			extra := ""
+			if e.Op == isa.OpLoad || e.Op == isa.OpStore {
+				extra = fmt.Sprintf("  [addr 0x%x = %d]", e.Addr, e.Val)
+			} else if e.Op.WritesReg() {
+				extra = fmt.Sprintf("  [r%d = %d]", e.Dst, e.Val)
+			}
+			fmt.Printf("%8d  pc %6d  %-24s%s\n", i, e.PC, ins.String(), extra)
+		}
+	}
+}
+
+func printStats(tr *trace.Trace) {
+	var counts [64]int
+	var branches, taken, loads, stores int
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		counts[e.Op]++
+		switch {
+		case e.Op.IsBranch():
+			branches++
+			if e.Taken() {
+				taken++
+			}
+		case e.Op == isa.OpLoad:
+			loads++
+		case e.Op == isa.OpStore:
+			stores++
+		}
+	}
+	fmt.Printf("loads %d (%.1f%%)  stores %d (%.1f%%)  branches %d (%.1f%%, %.1f%% taken)\n",
+		loads, pct(loads, tr.Len()), stores, pct(stores, tr.Len()),
+		branches, pct(branches, tr.Len()), pct(taken, branches))
+	fmt.Println("opcode mix:")
+	for op := isa.Op(0); int(op) < len(counts); op++ {
+		if counts[op] == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %9d (%.1f%%)\n", op, counts[op], pct(counts[op], tr.Len()))
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func parseSize(s string) (spmt.SizeClass, error) {
+	switch s {
+	case "test":
+		return spmt.SizeTest, nil
+	case "small":
+		return spmt.SizeSmall, nil
+	case "full":
+		return spmt.SizeFull, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmt-trace:", err)
+		os.Exit(1)
+	}
+}

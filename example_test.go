@@ -1,0 +1,52 @@
+package spmt_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleAnalyze shows the full pipeline on the smallest benchmark
+// size: profile, select pairs, and compare sequential vs speculative
+// execution.
+func ExampleAnalyze() {
+	prog := spmt.MustGenerate("compress", spmt.SizeTest)
+	art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	if err != nil {
+		panic(err)
+	}
+	pairs, err := spmt.SelectPairs(art, spmt.SelectConfig{})
+	if err != nil {
+		panic(err)
+	}
+	base, _ := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 1})
+	smt, _ := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 16, Pairs: pairs, SpawnWindowFactor: 4})
+	fmt.Println(pairs.Len() > 0, spmt.Speedup(base, smt) > 1.5)
+	// Output: true true
+}
+
+// ExampleSelectPairs demonstrates that every selected profile pair
+// satisfies the paper's thresholds.
+func ExampleSelectPairs() {
+	prog := spmt.MustGenerate("ijpeg", spmt.SizeTest)
+	art, _ := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	pairs, _ := spmt.SelectPairs(art, spmt.SelectConfig{})
+	ok := true
+	for _, p := range pairs.Primary {
+		if p.Kind.String() == "profile" && (p.Prob < 0.95 || p.Dist < 32) {
+			ok = false
+		}
+	}
+	fmt.Println(ok)
+	// Output: true
+}
+
+// ExampleHeuristicPairs derives the paper's baseline policies.
+func ExampleHeuristicPairs() {
+	prog := spmt.MustGenerate("li", spmt.SizeTest)
+	art, _ := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	combined := spmt.HeuristicPairs(art, spmt.CombinedHeuristics)
+	loops := spmt.HeuristicPairs(art, spmt.LoopIteration)
+	fmt.Println(combined.Len() >= loops.Len(), loops.Len() > 0)
+	// Output: true true
+}

@@ -1,0 +1,111 @@
+// Custompolicy: extending the library with a user-defined spawning
+// policy. The simulator consumes any PairTable, so a policy is just
+// code that builds one.
+//
+// The custom policy here is "call-depth-2 continuations": spawn only at
+// call sites whose callee itself makes a call (helper→worker chains),
+// on the theory that deep call trees mark coarse work. It is built
+// directly from the program structure and the trace-measured callee
+// lengths, then raced against the paper's profile-based scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/isa"
+)
+
+func main() {
+	prog := spmt.MustGenerate("vortex", spmt.SizeSmall)
+	art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	custom := deepCallPolicy(art)
+	fmt.Printf("custom policy selected %d pairs\n", custom.Len())
+
+	profile, err := spmt.SelectPairs(art, spmt.SelectConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, err := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []struct {
+		name  string
+		pairs *spmt.PairTable
+	}{
+		{"custom deep-call", custom},
+		{"profile-based", profile},
+		{"combined heuristics", spmt.HeuristicPairs(art, spmt.CombinedHeuristics)},
+	} {
+		res, err := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 16, Pairs: p.pairs, SpawnWindowFactor: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %d pairs  speed-up %.2fx  (%.1f active threads)\n",
+			p.name, p.pairs.Len(), spmt.Speedup(base, res), res.AvgActiveThreads)
+	}
+}
+
+// deepCallPolicy builds a PairTable of continuations of calls whose
+// callee contains another call.
+func deepCallPolicy(art *spmt.Artifacts) *spmt.PairTable {
+	prog := art.Program
+
+	// Find functions that contain calls.
+	callsInside := map[string]bool{}
+	for pc := range prog.Code {
+		if prog.Code[pc].Op == isa.OpCall {
+			if f := prog.FuncAt(uint32(pc)); f != nil {
+				callsInside[f.Name] = true
+			}
+		}
+	}
+
+	// Pair every call site whose target function itself calls.
+	var reqs []dep.Request
+	var sps []uint32
+	for pc := range prog.Code {
+		ins := &prog.Code[pc]
+		if ins.Op != isa.OpCall {
+			continue
+		}
+		callee := prog.FuncAt(ins.Target)
+		if callee == nil || !callsInside[callee.Name] {
+			continue
+		}
+		if art.Profile.BlockCount[art.Profile.BlockOf(uint32(pc))] == 0 {
+			continue
+		}
+		sps = append(sps, uint32(pc))
+		reqs = append(reqs, dep.Request{Key: dep.Key{SP: uint32(pc), CQIP: uint32(pc) + 1}})
+	}
+	stats := dep.Analyze(art.Trace, reqs, dep.Config{})
+
+	table := &core.Table{Alternates: map[uint32][]core.Pair{}}
+	for _, sp := range sps {
+		st := stats[dep.Key{SP: sp, CQIP: sp + 1}]
+		if st == nil || st.Occurrences == 0 {
+			continue
+		}
+		table.Primary = append(table.Primary, core.Pair{
+			SP: sp, CQIP: sp + 1, Kind: core.KindSubCont,
+			Prob: 1, Dist: st.AvgDist, Score: st.AvgDist,
+			LiveIns:     st.LiveIns,
+			Predictable: st.PredictableLiveIns(dep.PredictableThreshold),
+			AvgIndep:    st.AvgIndep, AvgPred: st.AvgPred,
+		})
+	}
+	table.TotalCandidates = len(table.Primary)
+	sort.Slice(table.Primary, func(a, b int) bool { return table.Primary[a].SP < table.Primary[b].SP })
+	return table
+}

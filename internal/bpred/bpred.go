@@ -1,0 +1,67 @@
+// Package bpred implements the per-thread-unit branch predictor of the
+// paper's machine model: a gshare predictor with a 10-bit global history
+// and 2-bit saturating counters (HPCA'02 §4.1). Predictor state is
+// per-TU and is deliberately *not* cleared when a new thread is spawned
+// on the unit, exactly as the paper specifies.
+package bpred
+
+// Gshare is a global-history XOR-indexed 2-bit-counter predictor.
+type Gshare struct {
+	bits    uint
+	history uint32
+	mask    uint32
+	table   []uint8
+}
+
+// NewGshare returns a gshare predictor with the given history length in
+// bits (the paper uses 10, giving a 1024-entry table).
+func NewGshare(bits uint) *Gshare {
+	if bits == 0 || bits > 20 {
+		bits = 10
+	}
+	return &Gshare{
+		bits:  bits,
+		mask:  (1 << bits) - 1,
+		table: make([]uint8, 1<<bits),
+	}
+}
+
+func (g *Gshare) index(pc uint32) uint32 {
+	return (pc ^ g.history) & g.mask
+}
+
+// ResetHistory clears the global history register. The paper keeps the
+// predictor *tables* warm across thread spawns but a newly assigned
+// thread starts with a fresh history; resetting also re-aligns the
+// table entries that corresponding branches of sibling threads train.
+func (g *Gshare) ResetHistory() { g.history = 0 }
+
+// Predict returns the predicted direction for a conditional branch at
+// pc.
+func (g *Gshare) Predict(pc uint32) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the counter and shifts the outcome into the global
+// history.
+func (g *Gshare) Update(pc uint32, taken bool) {
+	i := g.index(pc)
+	c := g.table[i]
+	if taken {
+		if c < 3 {
+			g.table[i] = c + 1
+		}
+	} else {
+		if c > 0 {
+			g.table[i] = c - 1
+		}
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & g.mask
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,80 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	g := NewGshare(10)
+	pc := uint32(0x40)
+	// The global history shifts on every update, so the first ~10
+	// updates each train a different entry; once the history saturates
+	// the hot entry trains quickly.
+	for i := 0; i < 30; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Error("predictor failed to learn always-taken")
+	}
+}
+
+func TestLearnsAlternatingWithHistory(t *testing.T) {
+	// T,N,T,N... is perfectly predictable with global history once the
+	// counters warm up.
+	g := NewGshare(10)
+	taken := false
+	for i := 0; i < 400; i++ {
+		g.Update(0x10, taken)
+		taken = !taken
+	}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if g.Predict(0x10) == taken {
+			hits++
+		}
+		g.Update(0x10, taken)
+		taken = !taken
+	}
+	if hits < 190 {
+		t.Errorf("alternating pattern hits = %d/200", hits)
+	}
+}
+
+func TestColdPredictorDefaultsNotTaken(t *testing.T) {
+	g := NewGshare(10)
+	if g.Predict(0x1234) {
+		t.Error("cold counters must predict not-taken")
+	}
+}
+
+func TestBadBitsClamped(t *testing.T) {
+	for _, bits := range []uint{0, 64} {
+		g := NewGshare(bits)
+		if len(g.table) != 1<<10 {
+			t.Errorf("bits=%d: table size %d, want 1024", bits, len(g.table))
+		}
+	}
+}
+
+func TestCountersStayInRange(t *testing.T) {
+	f := func(pcs []uint16, dirs []bool) bool {
+		g := NewGshare(8)
+		n := len(pcs)
+		if len(dirs) < n {
+			n = len(dirs)
+		}
+		for i := 0; i < n; i++ {
+			g.Update(uint32(pcs[i]), dirs[i])
+		}
+		for _, c := range g.table {
+			if c > 3 {
+				return false
+			}
+		}
+		return g.history <= g.mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMissThenHit(t *testing.T) {
+	c := New(Config{})
+	if got := c.Access(0x1000, 10); got != 18 {
+		t.Errorf("first access ready at %d, want 18 (miss)", got)
+	}
+	if got := c.Access(0x1008, 100); got != 103 {
+		t.Errorf("same-block access ready at %d, want 103 (hit)", got)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way: three conflicting blocks evict the least recently used.
+	c := New(Config{SizeBytes: 1 << 10, Ways: 2, BlockBytes: 32})
+	setStride := uint64(1 << 10 / 2) // nSets*block = 16 sets * 32B = 512
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a, 0)
+	c.Access(b, 10)
+	c.Access(a, 20) // a more recent than b
+	c.Access(d, 30) // evicts b
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Error("a and d must be resident")
+	}
+	if c.Contains(b) {
+		t.Error("b must have been evicted (LRU)")
+	}
+}
+
+func TestMSHRLimitsOutstandingMisses(t *testing.T) {
+	c := New(Config{MSHRs: 2, MissLat: 8})
+	// Three distinct blocks missed in the same cycle: the third waits
+	// for an MSHR.
+	r1 := c.Access(0x10000, 0)
+	r2 := c.Access(0x20000, 0)
+	r3 := c.Access(0x30000, 0)
+	if r1 != 8 || r2 != 8 {
+		t.Errorf("first two misses ready at %d,%d, want 8,8", r1, r2)
+	}
+	if r3 != 16 {
+		t.Errorf("third miss ready at %d, want 16 (MSHR stall)", r3)
+	}
+	if c.MSHRStalls != 1 {
+		t.Errorf("MSHR stalls = %d, want 1", c.MSHRStalls)
+	}
+}
+
+func TestDistinctSetsDontConflict(t *testing.T) {
+	c := New(Config{})
+	for i := uint64(0); i < 512; i++ {
+		c.Access(i*32, 0)
+	}
+	hits := c.Hits
+	for i := uint64(0); i < 512; i++ {
+		c.Access(i*32, 1000)
+	}
+	if c.Hits != hits+512 {
+		t.Errorf("second sweep of 16KB should hit entirely: hits=%d", c.Hits-hits)
+	}
+}
+
+// TestMatchesReferenceModel cross-checks hit/miss classification against
+// a simple map-based reference LRU model on random access streams.
+func TestMatchesReferenceModel(t *testing.T) {
+	type ref struct {
+		sets map[uint64][]uint64 // set -> tags, most recent first
+	}
+	f := func(raw []uint16) bool {
+		c := New(Config{SizeBytes: 1 << 10, Ways: 2, BlockBytes: 32})
+		r := ref{sets: map[uint64][]uint64{}}
+		nSets := uint64(16)
+		for _, x := range raw {
+			addr := uint64(x)
+			block := addr >> 5
+			set := block % nSets
+			tag := block / nSets
+			tags := r.sets[set]
+			refHit := false
+			for i, tg := range tags {
+				if tg == tag {
+					refHit = true
+					copy(tags[1:i+1], tags[:i])
+					tags[0] = tag
+					break
+				}
+			}
+			if !refHit {
+				tags = append([]uint64{tag}, tags...)
+				if len(tags) > 2 {
+					tags = tags[:2]
+				}
+				r.sets[set] = tags
+			}
+			hitsBefore := c.Hits
+			c.Access(addr, 0)
+			gotHit := c.Hits == hitsBefore+1
+			if gotHit != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := New(Config{})
+	if len(c.sets) != 512 {
+		t.Errorf("sets = %d, want 512 (32KB / 2 ways / 32B)", len(c.sets))
+	}
+	if len(c.mshr) != 4 {
+		t.Errorf("mshrs = %d, want 4", len(c.mshr))
+	}
+}

@@ -1,0 +1,104 @@
+package cfg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a connected weighted graph from fuzz input: node 0
+// is the entry; every node gets edges to a few random targets with
+// positive weights, plus consistent counts (count = inflow, entry +1).
+func randomGraph(raw []uint16) *Graph {
+	n := 3 + int(raw[0]%8)
+	g := &Graph{ByPC: map[uint32]int{}, Coverage: 1}
+	for i := 0; i < n; i++ {
+		pc := uint32(i * 10)
+		g.ByPC[pc] = i
+		g.Nodes = append(g.Nodes, Node{PC: pc, Len: 1 + int(raw[(i+1)%len(raw)]%20)})
+	}
+	g.Succ = make([][]Edge, n)
+	k := 1
+	next := func() int {
+		v := int(raw[k%len(raw)])
+		k++
+		return v
+	}
+	inflow := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg := 1 + next()%3
+		for d := 0; d < deg; d++ {
+			to := next() % n
+			w := float64(1 + next()%100)
+			g.Succ[i] = append(g.Succ[i], Edge{To: to, W: w})
+			inflow[to] += w
+		}
+	}
+	// Counts consistent with flow: count = max(inflow, outflow).
+	for i := 0; i < n; i++ {
+		out := g.OutWeight(i)
+		g.Nodes[i].Count = math.Max(inflow[i], out) + 1
+	}
+	return g
+}
+
+// TestPrunePreservesFlowProperty: for random graphs, pruning must never
+// create flow (each kept node's out-weight stays ≤ its count) and must
+// keep coverage at or above the requested fraction.
+func TestPrunePreservesFlowProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		g := randomGraph(raw)
+		pg, err := g.Prune(0.7, 0)
+		if err != nil {
+			return false
+		}
+		if pg.Coverage < 0.7-1e-9 {
+			return false
+		}
+		for i := range pg.Nodes {
+			if pg.OutWeight(i) > pg.Nodes[i].Count*(1+1e-6)+1e-6 {
+				return false
+			}
+		}
+		// Total retained flow never exceeds the original.
+		var origFlow, newFlow float64
+		for i := range g.Nodes {
+			origFlow += g.OutWeight(i)
+		}
+		for i := range pg.Nodes {
+			newFlow += pg.OutWeight(i)
+		}
+		return newFlow <= origFlow*(1+1e-6)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPruneIdempotentOnKeptSet: pruning an already-pruned graph at the
+// same coverage keeps everything.
+func TestPruneIdempotentOnKeptSet(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		g := randomGraph(raw)
+		p1, err := g.Prune(0.8, 0)
+		if err != nil {
+			return false
+		}
+		p2, err := p1.Prune(0.8, 0)
+		if err != nil {
+			return false
+		}
+		// A second prune at a coverage its input already exceeds
+		// keeps at least as large a share of its own instructions.
+		return len(p2.Nodes) <= len(p1.Nodes) && p2.Coverage >= 0.8-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

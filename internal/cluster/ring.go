@@ -1,0 +1,59 @@
+package cluster
+
+// ring is a per-cycle bandwidth ledger: it answers "how many slots of
+// this resource are already taken at absolute cycle c" with lazy reset,
+// so schedules can run ahead of the simulated clock (bounded by the
+// ring size).
+type ring struct {
+	width  int
+	mask   int64
+	tags   []int64
+	counts []int
+}
+
+const ringSize = 1 << 13 // must exceed any scheduling horizon
+
+func newRing(width int) *ring {
+	return &ring{
+		width:  width,
+		mask:   ringSize - 1,
+		tags:   make([]int64, ringSize),
+		counts: make([]int, ringSize),
+	}
+}
+
+// avail reports whether a slot is free at cycle c.
+func (r *ring) avail(c int64) bool {
+	i := c & r.mask
+	if r.tags[i] != c {
+		return r.width > 0
+	}
+	return r.counts[i] < r.width
+}
+
+// take consumes a slot at cycle c.
+func (r *ring) take(c int64) {
+	i := c & r.mask
+	if r.tags[i] != c {
+		r.tags[i] = c
+		r.counts[i] = 0
+	}
+	r.counts[i]++
+}
+
+// allocJoint finds the earliest cycle ≥ start with capacity in both
+// rings and consumes one slot from each.
+func allocJoint(a, b *ring, start int64) int64 {
+	c := start
+	for {
+		if a.avail(c) && b.avail(c) {
+			a.take(c)
+			b.take(c)
+			return c
+		}
+		c++
+		if c-start > ringSize/2 {
+			panic("cluster: scheduling horizon exceeded")
+		}
+	}
+}

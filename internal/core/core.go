@@ -1,0 +1,318 @@
+// Package core implements the paper's primary contribution: the
+// profile-based thread-spawning scheme (HPCA'02 §3.1). From the pruned
+// dynamic CFG and its reaching-probability/distance matrices it selects
+// spawning pairs — (spawning point, control quasi-independent point)
+// instruction pairs — that satisfy the paper's three requirements:
+//
+//  1. high probability of reaching the CQIP after the SP (≥ MinProb,
+//     default 0.95),
+//  2. an expected SP→CQIP distance large enough to amortise thread
+//     creation (≥ MinDist, default 32 instructions), and
+//  3. a favourable dependence profile, used to order competing CQIPs
+//     for the same SP under one of three criteria: maximum expected
+//     distance (the paper's default), maximum count of independent
+//     spawned-thread instructions, or maximum count of independent-or-
+//     predictable instructions.
+//
+// Subroutine return pairs that meet the size constraint are appended,
+// as §3.1 prescribes, since multi-caller subroutines dilute reaching
+// probabilities in the context-insensitive CFG.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/dep"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/reach"
+	"repro/internal/trace"
+)
+
+// Criterion orders competing CQIP candidates for one spawning point.
+type Criterion int
+
+// The three ordering criteria of §3.1.
+const (
+	// MaxDistance prefers the CQIP with the largest expected SP→CQIP
+	// distance (largest speculative thread).
+	MaxDistance Criterion = iota
+	// MaxIndependent prefers the CQIP whose thread has the most
+	// instructions independent of the SP→CQIP region.
+	MaxIndependent
+	// MaxPredictable prefers the CQIP whose thread has the most
+	// instructions that are independent or value-predictable.
+	MaxPredictable
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case MaxDistance:
+		return "max-distance"
+	case MaxIndependent:
+		return "independent"
+	case MaxPredictable:
+		return "predictable"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// PairKind records how a pair was derived.
+type PairKind int
+
+// Pair kinds: profile-selected, subroutine-return augmentation, and the
+// three traditional heuristics (produced by package heuristic).
+const (
+	KindProfile PairKind = iota
+	KindReturn
+	KindLoopIter
+	KindLoopCont
+	KindSubCont
+)
+
+// String names the pair kind.
+func (k PairKind) String() string {
+	switch k {
+	case KindProfile:
+		return "profile"
+	case KindReturn:
+		return "return"
+	case KindLoopIter:
+		return "loop-iter"
+	case KindLoopCont:
+		return "loop-cont"
+	case KindSubCont:
+		return "sub-cont"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Pair is one spawning pair: reaching the SP spawns a thread at the
+// CQIP.
+type Pair struct {
+	SP   uint32
+	CQIP uint32
+	Kind PairKind
+	// LoopEnd is the PC of the loop-closing backward branch for
+	// loop-iteration and loop-continuation pairs (the simulator's
+	// construct-level misspeculation detector needs the loop's static
+	// extent). Zero for non-loop pairs.
+	LoopEnd uint32
+	// Prob is the reaching probability RP(SP, CQIP).
+	Prob float64
+	// Dist is the expected SP→CQIP distance in instructions.
+	Dist float64
+	// Score is the value the selection criterion ordered by.
+	Score float64
+	// LiveIns are the registers the spawned thread reads before
+	// writing; the value predictor predicts exactly these.
+	LiveIns []isa.Reg
+	// Predictable flags the live-ins whose profiled stride hit rate
+	// met dep.PredictableThreshold.
+	Predictable []isa.Reg
+	// AvgIndep / AvgPred are the dependence-analysis counts behind the
+	// MaxIndependent / MaxPredictable criteria.
+	AvgIndep float64
+	AvgPred  float64
+}
+
+// Table is a spawn-pair table: one primary pair per spawning point,
+// with criterion-ordered alternates available to the reassign policy.
+type Table struct {
+	// Primary holds the selected pair for each distinct SP, sorted by
+	// SP.
+	Primary []Pair
+	// Alternates maps an SP to its remaining candidates in criterion
+	// order (best first), excluding the primary.
+	Alternates map[uint32][]Pair
+	// TotalCandidates counts every (block,block) pair that met the
+	// probability and distance thresholds (Figure 2's "Total Pairs").
+	TotalCandidates int
+}
+
+// Len returns the number of primary pairs (Figure 2's "Selected
+// Pairs").
+func (t *Table) Len() int { return len(t.Primary) }
+
+// BySP returns the primary pair for an SP, or nil.
+func (t *Table) BySP(pc uint32) *Pair {
+	i := sort.Search(len(t.Primary), func(i int) bool { return t.Primary[i].SP >= pc })
+	if i < len(t.Primary) && t.Primary[i].SP == pc {
+		return &t.Primary[i]
+	}
+	return nil
+}
+
+// Config parameterises selection. The zero value gives the paper's
+// defaults.
+type Config struct {
+	// MinProb is the reaching-probability threshold (default 0.95).
+	MinProb float64
+	// MinDist is the minimum expected distance in instructions
+	// (default 32).
+	MinDist float64
+	// MaxDist, when positive, drops pairs with larger expected
+	// distance (the paper notes very large threads cause imbalance;
+	// default 0 = unbounded).
+	MaxDist float64
+	// Criterion orders competing CQIPs per SP (default MaxDistance).
+	Criterion Criterion
+	// MaxAlternates bounds the stored alternates per SP (default 4).
+	MaxAlternates int
+	// DisableReturnPairs suppresses the §3.1 return-pair augmentation.
+	DisableReturnPairs bool
+	// Dep bounds the dependence-analysis sampling.
+	Dep dep.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinProb == 0 {
+		c.MinProb = 0.95
+	}
+	if c.MinDist == 0 {
+		c.MinDist = 32
+	}
+	if c.MaxAlternates == 0 {
+		c.MaxAlternates = 4
+	}
+	return c
+}
+
+// Select runs the full profile-based selection over a pruned CFG, its
+// reach analysis, and the trace (for dependence analysis).
+func Select(pr *emu.Profile, g *cfg.Graph, r *reach.Result, tr *trace.Trace, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if r.G != g {
+		return nil, fmt.Errorf("core: reach result computed over a different graph")
+	}
+	n := len(g.Nodes)
+
+	type cand struct {
+		sp, cqip   uint32
+		prob, dist float64
+	}
+	bySP := make(map[uint32][]cand)
+	total := 0
+	for i := 0; i < n; i++ {
+		sp := g.Nodes[i].PC
+		for j := 0; j < n; j++ {
+			p := r.Prob.At(i, j)
+			d := r.Dist.At(i, j)
+			if p < cfg.MinProb || d < cfg.MinDist {
+				continue
+			}
+			if cfg.MaxDist > 0 && d > cfg.MaxDist {
+				continue
+			}
+			total++
+			bySP[sp] = append(bySP[sp], cand{sp: sp, cqip: g.Nodes[j].PC, prob: p, dist: d})
+		}
+	}
+
+	// Dependence analysis: for the distance criterion only the
+	// eventual winners need live-ins, but ranking under the other two
+	// criteria needs stats for every candidate. Analysing all
+	// candidates keeps the code uniform; the sampling caps bound the
+	// cost.
+	var reqs []dep.Request
+	for _, cands := range bySP {
+		for _, c := range cands {
+			reqs = append(reqs, dep.Request{Key: dep.Key{SP: c.sp, CQIP: c.cqip}, Dist: c.dist})
+		}
+	}
+	tr.BuildIndex()
+	stats := dep.Analyze(tr, reqs, cfg.Dep)
+
+	table := &Table{Alternates: make(map[uint32][]Pair)}
+	table.TotalCandidates = total
+	for sp, cands := range bySP {
+		pairs := make([]Pair, 0, len(cands))
+		for _, c := range cands {
+			st := stats[dep.Key{SP: c.sp, CQIP: c.cqip}]
+			p := Pair{
+				SP: c.sp, CQIP: c.cqip, Kind: KindProfile,
+				Prob: c.prob, Dist: c.dist,
+			}
+			if st != nil {
+				p.LiveIns = st.LiveIns
+				p.Predictable = st.PredictableLiveIns(dep.PredictableThreshold)
+				p.AvgIndep = st.AvgIndep
+				p.AvgPred = st.AvgPred
+			}
+			switch cfg.Criterion {
+			case MaxIndependent:
+				p.Score = p.AvgIndep
+			case MaxPredictable:
+				p.Score = p.AvgPred
+			default:
+				p.Score = p.Dist
+			}
+			pairs = append(pairs, p)
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].Score != pairs[b].Score {
+				return pairs[a].Score > pairs[b].Score
+			}
+			return pairs[a].CQIP < pairs[b].CQIP
+		})
+		table.Primary = append(table.Primary, pairs[0])
+		alt := pairs[1:]
+		if len(alt) > cfg.MaxAlternates {
+			alt = alt[:cfg.MaxAlternates]
+		}
+		if len(alt) > 0 {
+			table.Alternates[sp] = append([]Pair(nil), alt...)
+		}
+	}
+
+	if !cfg.DisableReturnPairs {
+		addReturnPairs(pr, tr, table, cfg)
+	}
+
+	sort.Slice(table.Primary, func(a, b int) bool { return table.Primary[a].SP < table.Primary[b].SP })
+	return table, nil
+}
+
+// addReturnPairs appends (call, continuation) pairs whose mean callee
+// length satisfies the size constraint and whose SP is not already in
+// the table.
+func addReturnPairs(pr *emu.Profile, tr *trace.Trace, table *Table, cfg Config) {
+	taken := make(map[uint32]bool, len(table.Primary))
+	for i := range table.Primary {
+		taken[table.Primary[i].SP] = true
+	}
+	var reqs []dep.Request
+	type rp struct {
+		sp, cqip uint32
+		dist     float64
+	}
+	var cands []rp
+	for callPC, cs := range pr.CallSites {
+		avg := cs.AvgLen()
+		if avg < cfg.MinDist || (cfg.MaxDist > 0 && avg > cfg.MaxDist) {
+			continue
+		}
+		if taken[callPC] {
+			continue
+		}
+		cands = append(cands, rp{sp: callPC, cqip: callPC + 1, dist: avg})
+		reqs = append(reqs, dep.Request{Key: dep.Key{SP: callPC, CQIP: callPC + 1}, Dist: avg})
+	}
+	rstats := dep.Analyze(tr, reqs, cfg.Dep)
+	for _, c := range cands {
+		st := rstats[dep.Key{SP: c.sp, CQIP: c.cqip}]
+		p := Pair{SP: c.sp, CQIP: c.cqip, Kind: KindReturn, Prob: 1, Dist: c.dist, Score: c.dist}
+		if st != nil {
+			p.LiveIns = st.LiveIns
+			p.Predictable = st.PredictableLiveIns(dep.PredictableThreshold)
+			p.AvgIndep = st.AvgIndep
+			p.AvgPred = st.AvgPred
+		}
+		table.Primary = append(table.Primary, p)
+	}
+}

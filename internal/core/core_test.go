@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/reach"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// pipeline runs profile -> pruned CFG -> reach -> Select for a program.
+func pipeline(t *testing.T, p *isa.Program, cfgSel Config) (*Table, *emu.Profile, *cfg.Graph, *trace.Trace) {
+	t.Helper()
+	res, err := emu.Run(p, emu.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(res.Profile).Prune(0.9, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := reach.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Select(res.Profile, g, r, res.Trace, cfgSel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, res.Profile, g, res.Trace
+}
+
+func TestSelectIndependentMap(t *testing.T) {
+	// 64 iterations × 33 instructions: the iteration pair passes both
+	// thresholds (RP = 63/64, distance 33 ≥ 32).
+	p := workload.KernelIndependentMap(64, 14)
+	tab, _, g, _ := pipeline(t, p, Config{})
+	if tab.Len() == 0 {
+		t.Fatalf("no pairs selected; graph nodes=%d", len(g.Nodes))
+	}
+	for _, pair := range tab.Primary {
+		if pair.Kind != KindProfile {
+			continue
+		}
+		if pair.Prob < 0.95 {
+			t.Errorf("pair %+v below probability threshold", pair)
+		}
+		if pair.Dist < 32 {
+			t.Errorf("pair %+v below distance threshold", pair)
+		}
+	}
+}
+
+func TestSelectRespectsThresholds(t *testing.T) {
+	p := workload.MustGenerate("compress", workload.SizeTest)
+	tab, _, _, _ := pipeline(t, p, Config{MinProb: 0.99, MinDist: 64})
+	for _, pair := range tab.Primary {
+		if pair.Kind == KindProfile && (pair.Prob < 0.99 || pair.Dist < 64) {
+			t.Errorf("pair violates thresholds: %+v", pair)
+		}
+		if pair.Kind == KindReturn && pair.Dist < 64 {
+			t.Errorf("return pair violates size: %+v", pair)
+		}
+	}
+}
+
+func TestSelectOnePrimaryPerSP(t *testing.T) {
+	p := workload.MustGenerate("ijpeg", workload.SizeTest)
+	tab, _, _, _ := pipeline(t, p, Config{})
+	seen := map[uint32]bool{}
+	for _, pair := range tab.Primary {
+		if seen[pair.SP] {
+			t.Errorf("duplicate SP %d", pair.SP)
+		}
+		seen[pair.SP] = true
+	}
+	if tab.TotalCandidates < tab.Len()-countKind(tab, KindReturn) {
+		t.Errorf("total candidates %d < selected profile pairs", tab.TotalCandidates)
+	}
+}
+
+func countKind(tab *Table, k PairKind) int {
+	n := 0
+	for _, p := range tab.Primary {
+		if p.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSelectReturnPairs(t *testing.T) {
+	// The call-chain kernel's leaf is long enough to qualify as a
+	// return pair.
+	p := workload.KernelCallChain(50, 20)
+	tab, pr, _, _ := pipeline(t, p, Config{})
+	var callPC uint32
+	for pc := range pr.CallSites {
+		callPC = pc
+	}
+	found := false
+	for _, pair := range tab.Primary {
+		if pair.Kind == KindReturn {
+			found = true
+			if pair.SP != callPC || pair.CQIP != callPC+1 {
+				t.Errorf("return pair at %d->%d, want %d->%d", pair.SP, pair.CQIP, callPC, callPC+1)
+			}
+		}
+	}
+	if !found {
+		t.Error("no return pair added")
+	}
+
+	// Disabled: no return pairs.
+	tab2, _, _, _ := pipeline(t, p, Config{DisableReturnPairs: true})
+	if countKind(tab2, KindReturn) != 0 {
+		t.Error("return pairs present despite DisableReturnPairs")
+	}
+}
+
+func TestSelectShortCalleeRejected(t *testing.T) {
+	p := workload.KernelCallChain(50, 2) // leaf ~7 instructions < 32
+	tab, _, _, _ := pipeline(t, p, Config{})
+	if n := countKind(tab, KindReturn); n != 0 {
+		t.Errorf("short callee produced %d return pairs", n)
+	}
+}
+
+func TestBySP(t *testing.T) {
+	p := workload.MustGenerate("ijpeg", workload.SizeTest)
+	tab, _, _, _ := pipeline(t, p, Config{})
+	if tab.Len() == 0 {
+		t.Fatal("no pairs")
+	}
+	for i := range tab.Primary {
+		got := tab.BySP(tab.Primary[i].SP)
+		if got == nil || got.SP != tab.Primary[i].SP {
+			t.Fatalf("BySP(%d) = %v", tab.Primary[i].SP, got)
+		}
+	}
+	if tab.BySP(0xffffffff) != nil {
+		t.Error("BySP(bogus) != nil")
+	}
+}
+
+func TestCriteriaChangeOrdering(t *testing.T) {
+	p := workload.MustGenerate("perl", workload.SizeTest)
+	res, err := emu.Run(p, emu.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(res.Profile).Prune(0.9, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := reach.Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := map[Criterion]*Table{}
+	for _, crit := range []Criterion{MaxDistance, MaxIndependent, MaxPredictable} {
+		tab, err := Select(res.Profile, g, r, res.Trace, Config{Criterion: crit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[crit] = tab
+		// Score must match the criterion's metric.
+		for _, pair := range tab.Primary {
+			if pair.Kind != KindProfile {
+				continue
+			}
+			var want float64
+			switch crit {
+			case MaxIndependent:
+				want = pair.AvgIndep
+			case MaxPredictable:
+				want = pair.AvgPred
+			default:
+				want = pair.Dist
+			}
+			if pair.Score != want {
+				t.Errorf("%v: score %v != metric %v", crit, pair.Score, want)
+			}
+		}
+	}
+	// Same SPs under every criterion (ordering changes, the SP set
+	// doesn't).
+	if tables[MaxDistance].Len() != tables[MaxIndependent].Len() {
+		t.Errorf("SP counts differ: %d vs %d",
+			tables[MaxDistance].Len(), tables[MaxIndependent].Len())
+	}
+	// Alternates are criterion-ordered best-first.
+	for sp, alts := range tables[MaxDistance].Alternates {
+		prev := tables[MaxDistance].BySP(sp).Score
+		for _, a := range alts {
+			if a.Score > prev+1e-9 {
+				t.Errorf("alternate better than primary for SP %d", sp)
+			}
+			prev = a.Score
+		}
+	}
+}
+
+func TestCriterionAndKindStrings(t *testing.T) {
+	if MaxDistance.String() != "max-distance" || MaxIndependent.String() != "independent" ||
+		MaxPredictable.String() != "predictable" {
+		t.Error("criterion names wrong")
+	}
+	if Criterion(9).String() == "" {
+		t.Error("unknown criterion must still print")
+	}
+	for k := KindProfile; k <= KindSubCont; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if PairKind(42).String() == "" {
+		t.Error("unknown kind must still print")
+	}
+}
+
+func TestSelectGraphMismatch(t *testing.T) {
+	p := workload.KernelCountLoop(50, 4)
+	res, err := emu.Run(p, emu.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := cfg.Build(res.Profile).Prune(0.9, 0)
+	g2, _ := cfg.Build(res.Profile).Prune(0.9, 0)
+	r, err := reach.Compute(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Select(res.Profile, g2, r, res.Trace, Config{}); err == nil {
+		t.Error("expected graph-mismatch error")
+	}
+}

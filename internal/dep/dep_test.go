@@ -1,0 +1,220 @@
+package dep
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func traceOf(t *testing.T, p *isa.Program) *trace.Trace {
+	t.Helper()
+	res, err := emu.Run(p, emu.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Trace.BuildIndex()
+	return res.Trace
+}
+
+func TestStrideHitRate(t *testing.T) {
+	cases := []struct {
+		vals []uint64
+		want float64
+	}{
+		{nil, 1},
+		{[]uint64{5}, 1},
+		{[]uint64{5, 5}, 1},
+		{[]uint64{5, 6}, 0},
+		{[]uint64{0, 8, 16, 24, 32}, 1},          // perfect stride
+		{[]uint64{0, 8, 16, 99, 100}, 1.0 / 3.0}, // one hit of three
+		{[]uint64{7, 7, 7, 7}, 1},                // constant = stride 0
+		{[]uint64{1, 2, 4, 8, 16}, 0},            // geometric
+	}
+	for _, c := range cases {
+		if got := strideHitRate(c.vals); got != c.want {
+			t.Errorf("strideHitRate(%v) = %v, want %v", c.vals, got, c.want)
+		}
+	}
+}
+
+// TestTaintLattice uses a hand-built straight-line program where the
+// dependence structure is known exactly.
+func TestTaintLattice(t *testing.T) {
+	b := isa.NewBuilder("lattice")
+	b.Func("main")
+	b.Li(12, 5)                  // 0: before SP — clean source
+	b.Li(8, 1)                   // 1: SP
+	b.Addi(8, 8, 3)              // 2: region writes r8
+	b.Addi(13, 12, 1)            // 3: CQIP — reads r12 (clean)
+	b.Op3(isa.OpAdd, 14, 13, 12) // 4: clean chain
+	b.Op3(isa.OpAdd, 15, 8, 12)  // 5: reads r8 -> region-dependent
+	b.Op3(isa.OpAdd, 16, 15, 13) // 6: transitively dependent
+	b.Halt()                     // 7
+	tr := traceOf(t, b.MustBuild())
+
+	stats := Analyze(tr, []Request{{Key: Key{SP: 1, CQIP: 3}, Dist: 4}}, Config{})
+	st := stats[Key{SP: 1, CQIP: 3}]
+	if st.Occurrences != 1 {
+		t.Fatalf("occurrences = %d", st.Occurrences)
+	}
+	if st.AvgDist != 2 {
+		t.Errorf("avg dist = %v, want 2", st.AvgDist)
+	}
+	// Window = instructions 3..6: two clean (3, 4), two dependent on
+	// the region (5, 6). With a single occurrence the live-in r8 is
+	// trivially predictable, so AvgPred counts all four.
+	if st.AvgIndep != 2 {
+		t.Errorf("AvgIndep = %v, want 2", st.AvgIndep)
+	}
+	if st.AvgPred != 4 {
+		t.Errorf("AvgPred = %v, want 4", st.AvgPred)
+	}
+	if len(st.LiveIns) != 1 || st.LiveIns[0] != 8 {
+		t.Errorf("live-ins = %v, want [r8]", st.LiveIns)
+	}
+}
+
+// TestMemoryDependence: a load in the window from an address stored in
+// the region must be dependent (memory values are never predicted).
+func TestMemoryDependence(t *testing.T) {
+	b := isa.NewBuilder("memdep")
+	b.Func("main")
+	b.Li(10, 0x1000)             // 0
+	b.Li(11, 7)                  // 1: SP
+	b.Store(11, 10, 0)           // 2: region store to 0x1000
+	b.Load(12, 10, 0)            // 3: CQIP — load from region-written addr
+	b.Op3(isa.OpAdd, 13, 12, 12) // 4: transitively dependent
+	b.Li(14, 9)                  // 5: clean
+	b.Halt()
+	tr := traceOf(t, b.MustBuild())
+	st := Analyze(tr, []Request{{Key: Key{SP: 1, CQIP: 3}, Dist: 3}}, Config{})[Key{SP: 1, CQIP: 3}]
+	if st.AvgIndep != 1 { // only the Li
+		t.Errorf("AvgIndep = %v, want 1", st.AvgIndep)
+	}
+	// r11 is written in the region but the window never reads it
+	// directly — the memory dependence is not a live-in.
+	for _, r := range st.LiveIns {
+		if r == 12 || r == 11 {
+			t.Errorf("unexpected live-in r%d", r)
+		}
+	}
+	// Memory dependences are never "predictable": AvgPred counts the
+	// clean Li plus nothing else.
+	if st.AvgPred != 1 {
+		t.Errorf("AvgPred = %v, want 1", st.AvgPred)
+	}
+}
+
+// TestSameThreadStoreForward: a window load fed by a window store takes
+// the store's taint, not the region's.
+func TestSameThreadStoreForward(t *testing.T) {
+	b := isa.NewBuilder("fwd")
+	b.Func("main")
+	b.Li(10, 0x2000)   // 0
+	b.Li(11, 1)        // 1: SP
+	b.Addi(11, 11, 1)  // 2: region
+	b.Li(12, 42)       // 3: CQIP — clean
+	b.Store(12, 10, 0) // 4: window store, clean data
+	b.Load(13, 10, 0)  // 5: load sees the window store -> clean
+	b.Halt()
+	tr := traceOf(t, b.MustBuild())
+	st := Analyze(tr, []Request{{Key: Key{SP: 1, CQIP: 3}, Dist: 3}}, Config{})[Key{SP: 1, CQIP: 3}]
+	if st.AvgIndep != 3 {
+		t.Errorf("AvgIndep = %v, want 3 (all window instrs clean)", st.AvgIndep)
+	}
+}
+
+// TestLoopLiveIns: in the independent-map kernel, the loop-iteration
+// pair's live-ins are the two induction pointers, and both must be
+// stride-predictable.
+func TestLoopLiveIns(t *testing.T) {
+	p := workload.KernelIndependentMap(64, 2)
+	tr := traceOf(t, p)
+	// The map loop's head is the first loop label after init; find it
+	// via the known structure: the load is the loop's first
+	// instruction. Locate the first Load in the second half of code.
+	var head uint32
+	for pc := range p.Code {
+		if p.Code[pc].Op == isa.OpLoad {
+			head = uint32(pc)
+			break
+		}
+	}
+	key := Key{SP: head, CQIP: head}
+	st := Analyze(tr, []Request{{Key: key}}, Config{MaxOccurrences: 16})[key]
+	if st.Occurrences < 10 {
+		t.Fatalf("occurrences = %d", st.Occurrences)
+	}
+	found := map[isa.Reg]bool{}
+	for _, r := range st.LiveIns {
+		found[r] = true
+	}
+	if !found[8] || !found[11] {
+		t.Errorf("live-ins = %v, want r8 and r11 (induction pointers)", st.LiveIns)
+	}
+	for _, r := range []isa.Reg{8, 11} {
+		if st.HitRate[r] < 0.99 {
+			t.Errorf("r%d stride hit rate = %v, want ~1", r, st.HitRate[r])
+		}
+	}
+	if len(st.PredictableLiveIns(0.75)) < 2 {
+		t.Errorf("predictable live-ins = %v", st.PredictableLiveIns(0.75))
+	}
+	// Iterations are independent apart from predictable induction:
+	// AvgPred should be nearly the whole window.
+	if st.AvgPred < st.AvgDist*0.9 {
+		t.Errorf("AvgPred = %v of window %v", st.AvgPred, st.AvgDist)
+	}
+}
+
+// TestSkipsSPRecurrence: occurrences where the SP recurs before the
+// CQIP are not instances of the pair.
+func TestSkipsSPRecurrence(t *testing.T) {
+	// Loop runs 5 times then falls through to the CQIP: only the last
+	// head occurrence reaches the CQIP without an intervening head.
+	b := isa.NewBuilder("recur")
+	b.Func("main")
+	b.Li(8, 0)
+	b.Li(9, 5)
+	b.Label("head")
+	b.Addi(8, 8, 1)
+	b.Branch(isa.OpBltu, 8, 9, "head")
+	b.Li(10, 1) // CQIP
+	b.Halt()
+	tr := traceOf(t, b.MustBuild())
+	head := uint32(2)
+	cqip := uint32(4)
+	st := Analyze(tr, []Request{{Key: Key{SP: head, CQIP: cqip}}}, Config{})[Key{SP: head, CQIP: cqip}]
+	if st.Occurrences != 1 {
+		t.Errorf("occurrences = %d, want 1 (only the final iteration)", st.Occurrences)
+	}
+	if st.AvgDist != 2 {
+		t.Errorf("avg dist = %v, want 2", st.AvgDist)
+	}
+}
+
+func TestNoOccurrences(t *testing.T) {
+	b := isa.NewBuilder("none")
+	b.Func("main")
+	b.Li(8, 1)
+	b.Halt()
+	tr := traceOf(t, b.MustBuild())
+	st := Analyze(tr, []Request{{Key: Key{SP: 0, CQIP: 99}}}, Config{})[Key{SP: 0, CQIP: 99}]
+	if st.Occurrences != 0 {
+		t.Errorf("occurrences = %d", st.Occurrences)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxOccurrences <= 0 || c.MaxWindow <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	c = Config{MaxOccurrences: 3, MaxWindow: 7}.withDefaults()
+	if c.MaxOccurrences != 3 || c.MaxWindow != 7 {
+		t.Errorf("explicit values clobbered: %+v", c)
+	}
+}

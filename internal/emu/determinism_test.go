@@ -1,0 +1,69 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestEmulationDeterministic: two runs of the same program produce
+// byte-identical traces and profiles — the property every downstream
+// cache (suite pipelines, saved traces) relies on.
+func TestEmulationDeterministic(t *testing.T) {
+	p := workload.MustGenerate("go", workload.SizeTest)
+	a, err := Run(p, Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instrs != b.Instrs {
+		t.Fatalf("instruction counts differ: %d vs %d", a.Instrs, b.Instrs)
+	}
+	for i := range a.Trace.Events {
+		if a.Trace.Events[i] != b.Trace.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	if len(a.Profile.EdgeCount) != len(b.Profile.EdgeCount) {
+		t.Fatal("edge counts differ")
+	}
+	for e, c := range a.Profile.EdgeCount {
+		if b.Profile.EdgeCount[e] != c {
+			t.Fatalf("edge %v count differs", e)
+		}
+	}
+}
+
+// TestTraceMatchesProfile: the profile's block counts must equal the
+// counts recovered by replaying the trace — the two collection paths
+// must agree exactly.
+func TestTraceMatchesProfile(t *testing.T) {
+	p := workload.MustGenerate("compress", workload.SizeTest)
+	res, err := Run(p, Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := make(map[uint32]uint64)
+	for i := range res.Trace.Events {
+		pc := res.Trace.Events[i].PC
+		if res.Profile.IsLeader(pc) {
+			replay[pc]++
+		}
+	}
+	for leader, count := range res.Profile.BlockCount {
+		if replay[leader] != count {
+			t.Errorf("block %d: profile %d vs trace replay %d", leader, count, replay[leader])
+		}
+	}
+	var total uint64
+	for _, e := range res.Profile.EdgeCount {
+		total += e
+	}
+	_ = total
+	if uint64(res.Instrs) != res.Profile.TotalInstrs {
+		t.Errorf("instrs %d != profile total %d", res.Instrs, res.Profile.TotalInstrs)
+	}
+}

@@ -1,0 +1,198 @@
+// Package emu is the functional emulator for the repository's ISA. It
+// plays the role ATOM played in the HPCA'02 study: it executes a program
+// to completion, producing the exact dynamic instruction trace and the
+// basic-block/edge execution profile that the spawning analyses and the
+// trace-driven processor simulator consume.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// ErrBudgetExceeded is returned when a program does not halt within the
+// configured instruction budget.
+var ErrBudgetExceeded = errors.New("emu: instruction budget exceeded")
+
+// DefaultMaxInstrs bounds runaway programs.
+const DefaultMaxInstrs = 64 << 20
+
+// Config controls an emulation run.
+type Config struct {
+	// MaxInstrs caps the dynamic instruction count (DefaultMaxInstrs
+	// when zero).
+	MaxInstrs int
+	// CollectTrace enables recording the full event stream. The profile
+	// is always collected.
+	CollectTrace bool
+}
+
+// Result bundles the artefacts of a run.
+type Result struct {
+	Trace   *trace.Trace // nil unless Config.CollectTrace
+	Profile *Profile
+	Instrs  int // dynamic instruction count
+}
+
+type callFrame struct {
+	retPC    uint32
+	callPC   uint32
+	startSeq uint64
+}
+
+// Run executes the program to its halt instruction and returns the trace
+// (if requested) and profile.
+func Run(p *isa.Program, cfg Config) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxInstrs := cfg.MaxInstrs
+	if maxInstrs <= 0 {
+		maxInstrs = DefaultMaxInstrs
+	}
+
+	var regs [isa.NumRegs]uint64
+	mem := NewMemory()
+	prof := newProfile(p)
+	var events []trace.Event
+	if cfg.CollectTrace {
+		events = make([]trace.Event, 0, 1<<16)
+	}
+
+	var stack []callFrame
+	pc := p.Entry
+	prevBlock := uint32(0)
+	haveBlock := false
+	seq := uint64(0)
+
+	for {
+		if seq >= uint64(maxInstrs) {
+			return nil, fmt.Errorf("%w: %s after %d instructions at pc %d",
+				ErrBudgetExceeded, p.Name, seq, pc)
+		}
+		ins := &p.Code[pc]
+
+		// Profile: block and edge accounting at block entry.
+		if prof.IsLeader(pc) {
+			prof.BlockCount[pc]++
+			if haveBlock {
+				prof.EdgeCount[Edge{From: prevBlock, To: pc}]++
+			}
+			prevBlock = pc
+			haveBlock = true
+		}
+
+		next := pc + 1
+		var val, addr uint64
+		halted := false
+
+		switch ins.Op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			val = regs[ins.Src1] + regs[ins.Src2]
+		case isa.OpSub:
+			val = regs[ins.Src1] - regs[ins.Src2]
+		case isa.OpAnd:
+			val = regs[ins.Src1] & regs[ins.Src2]
+		case isa.OpOr:
+			val = regs[ins.Src1] | regs[ins.Src2]
+		case isa.OpXor:
+			val = regs[ins.Src1] ^ regs[ins.Src2]
+		case isa.OpShl:
+			val = regs[ins.Src1] << (regs[ins.Src2] & 63)
+		case isa.OpShr:
+			val = regs[ins.Src1] >> (regs[ins.Src2] & 63)
+		case isa.OpSltu:
+			if regs[ins.Src1] < regs[ins.Src2] {
+				val = 1
+			}
+		case isa.OpAddi:
+			val = regs[ins.Src1] + uint64(ins.Imm)
+		case isa.OpLui:
+			val = uint64(ins.Imm)
+		case isa.OpMul:
+			val = regs[ins.Src1] * regs[ins.Src2]
+		case isa.OpLoad:
+			addr = regs[ins.Src1] + uint64(ins.Imm)
+			val = mem.Load(addr)
+		case isa.OpStore:
+			addr = regs[ins.Src1] + uint64(ins.Imm)
+			val = regs[ins.Src2]
+			mem.Store(addr, val)
+		case isa.OpBeq:
+			if regs[ins.Src1] == regs[ins.Src2] {
+				next = ins.Target
+			}
+		case isa.OpBne:
+			if regs[ins.Src1] != regs[ins.Src2] {
+				next = ins.Target
+			}
+		case isa.OpBltu:
+			if regs[ins.Src1] < regs[ins.Src2] {
+				next = ins.Target
+			}
+		case isa.OpBgeu:
+			if regs[ins.Src1] >= regs[ins.Src2] {
+				next = ins.Target
+			}
+		case isa.OpJmp:
+			next = ins.Target
+		case isa.OpCall:
+			stack = append(stack, callFrame{retPC: pc + 1, callPC: pc, startSeq: seq})
+			next = ins.Target
+		case isa.OpRet:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("emu: return with empty call stack at pc %d", pc)
+			}
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			next = fr.retPC
+			cs := prof.CallSites[fr.callPC]
+			cs.Count++
+			cs.TotalInstrs += seq - fr.startSeq + 1
+			prof.CallSites[fr.callPC] = cs
+		case isa.OpFAdd:
+			val = regs[ins.Src1] + regs[ins.Src2]
+		case isa.OpFMul:
+			val = regs[ins.Src1] * regs[ins.Src2]
+		case isa.OpFDiv:
+			d := regs[ins.Src2]
+			if d == 0 {
+				d = 1
+			}
+			val = regs[ins.Src1] / d
+		case isa.OpHalt:
+			halted = true
+			next = pc
+		default:
+			return nil, fmt.Errorf("emu: unknown opcode %v at pc %d", ins.Op, pc)
+		}
+
+		if ins.Op.WritesReg() && ins.Dst != 0 {
+			regs[ins.Dst] = val
+		}
+
+		if cfg.CollectTrace {
+			events = append(events, trace.Event{
+				PC: pc, Next: next, Op: ins.Op,
+				Dst: ins.Dst, Src1: ins.Src1, Src2: ins.Src2,
+				Val: val, Addr: addr,
+			})
+		}
+		seq++
+		prof.TotalInstrs++
+		if halted {
+			break
+		}
+		pc = next
+	}
+
+	res := &Result{Profile: prof, Instrs: int(seq)}
+	if cfg.CollectTrace {
+		res.Trace = &trace.Trace{Program: p, Events: events}
+	}
+	return res, nil
+}

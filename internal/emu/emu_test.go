@@ -1,0 +1,263 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// buildLoop returns a 3-iteration loop summing constants into r2.
+func buildLoop(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("loop")
+	b.Func("main")
+	b.Li(1, 3) // n
+	b.Li(2, 0) // acc
+	b.Li(3, 0) // i
+	b.Label("top")
+	b.Addi(2, 2, 5)
+	b.Addi(3, 3, 1)
+	b.Branch(isa.OpBltu, 3, 1, "top")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestRunSimpleLoop(t *testing.T) {
+	res, err := Run(buildLoop(t), Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 + 3*3 + 1
+	if res.Instrs != want {
+		t.Errorf("instrs = %d, want %d", res.Instrs, want)
+	}
+	// Final accumulate event should carry 15.
+	var accVal uint64
+	for _, e := range res.Trace.Events {
+		if e.Dst == 2 && e.Op == isa.OpAddi {
+			accVal = e.Val
+		}
+	}
+	if accVal != 15 {
+		t.Errorf("acc = %d, want 15", accVal)
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	b := isa.NewBuilder("arith")
+	b.Func("main")
+	b.Li(1, 10)
+	b.Li(2, 3)
+	b.Op3(isa.OpAdd, 3, 1, 2)   // 13
+	b.Op3(isa.OpSub, 4, 1, 2)   // 7
+	b.Op3(isa.OpMul, 5, 1, 2)   // 30
+	b.Op3(isa.OpAnd, 6, 1, 2)   // 2
+	b.Op3(isa.OpOr, 7, 1, 2)    // 11
+	b.Op3(isa.OpXor, 8, 1, 2)   // 9
+	b.Op3(isa.OpShl, 9, 1, 2)   // 80
+	b.Op3(isa.OpShr, 10, 1, 2)  // 1
+	b.Op3(isa.OpSltu, 11, 2, 1) // 1
+	b.Op3(isa.OpSltu, 12, 1, 2) // 0
+	b.Op3(isa.OpFDiv, 13, 1, 2) // 3
+	b.Op3(isa.OpFDiv, 14, 1, 0) // div-by-zero guard -> 10
+	b.Halt()
+	p := b.MustBuild()
+	res, err := Run(p, Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[isa.Reg]uint64{3: 13, 4: 7, 5: 30, 6: 2, 7: 11, 8: 9, 9: 80, 10: 1, 11: 1, 12: 0, 13: 3, 14: 10}
+	got := map[isa.Reg]uint64{}
+	for _, e := range res.Trace.Events {
+		if e.Op.WritesReg() {
+			got[e.Dst] = e.Val
+		}
+	}
+	for r, w := range want {
+		if got[r] != w {
+			t.Errorf("r%d = %d, want %d", r, got[r], w)
+		}
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0x1000) != 0 {
+		t.Error("uninitialised memory must read zero")
+	}
+	m.Store(0x1000, 42)
+	m.Store(0x1008, 43)
+	if m.Load(0x1000) != 42 || m.Load(0x1008) != 43 {
+		t.Error("store/load mismatch")
+	}
+	// Unaligned access hits the containing word.
+	if m.Load(0x1003) != 42 {
+		t.Error("sub-word address must alias the containing word")
+	}
+	if m.Pages() != 1 {
+		t.Errorf("pages = %d, want 1", m.Pages())
+	}
+}
+
+func TestMemoryProperty(t *testing.T) {
+	// Property: last store to an address wins; distinct words don't alias.
+	f := func(addrs []uint16, vals []uint64) bool {
+		m := NewMemory()
+		ref := map[uint64]uint64{}
+		n := len(addrs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			a := uint64(addrs[i]) &^ 7
+			m.Store(a, vals[i])
+			ref[a] = vals[i]
+		}
+		for a, v := range ref {
+			if m.Load(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCallReturnAndCallStats(t *testing.T) {
+	b := isa.NewBuilder("calls")
+	b.Func("main")
+	b.Li(1, 2)
+	b.Call("f") // pc 1
+	b.Call("f") // pc 2
+	b.Halt()
+	b.Func("f")
+	b.Addi(1, 1, 1)
+	b.Ret()
+	p := b.MustBuild()
+	res, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profile.CallSites) != 2 {
+		t.Fatalf("call sites = %d, want 2", len(res.Profile.CallSites))
+	}
+	for pc, cs := range res.Profile.CallSites {
+		if cs.Count != 1 {
+			t.Errorf("call %d count = %d", pc, cs.Count)
+		}
+		// call + addi + ret = 3 dynamic instructions per invocation
+		if cs.TotalInstrs != 3 {
+			t.Errorf("call %d instrs = %d, want 3", pc, cs.TotalInstrs)
+		}
+		if cs.AvgLen() != 3 {
+			t.Errorf("call %d avglen = %v", pc, cs.AvgLen())
+		}
+	}
+}
+
+func TestReturnWithoutCallFails(t *testing.T) {
+	b := isa.NewBuilder("badret")
+	b.Func("main")
+	b.Ret()
+	b.Halt()
+	if _, err := Run(b.MustBuild(), Config{}); err == nil {
+		t.Fatal("expected empty-call-stack error")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	b := isa.NewBuilder("spin")
+	b.Func("main")
+	b.Label("top")
+	b.Jmp("top")
+	b.Halt()
+	_, err := Run(b.MustBuild(), Config{MaxInstrs: 100})
+	if err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestProfileBlocksAndEdges(t *testing.T) {
+	p := buildLoop(t)
+	res, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := res.Profile
+	// Blocks: entry [0..2], loop body [3..5], exit halt [6].
+	if len(pr.Leaders) != 3 {
+		t.Fatalf("leaders = %v", pr.Leaders)
+	}
+	if pr.BlockCount[0] != 1 || pr.BlockCount[3] != 3 || pr.BlockCount[6] != 1 {
+		t.Errorf("block counts: %v", pr.BlockCount)
+	}
+	if pr.EdgeCount[Edge{0, 3}] != 1 {
+		t.Errorf("entry->body edge = %d", pr.EdgeCount[Edge{0, 3}])
+	}
+	if pr.EdgeCount[Edge{3, 3}] != 2 {
+		t.Errorf("backedge = %d", pr.EdgeCount[Edge{3, 3}])
+	}
+	if pr.EdgeCount[Edge{3, 6}] != 1 {
+		t.Errorf("exit edge = %d", pr.EdgeCount[Edge{3, 6}])
+	}
+	if pr.BlockOf(4) != 3 || pr.BlockOf(0) != 0 || pr.BlockOf(6) != 6 {
+		t.Error("BlockOf misassigns")
+	}
+	if !pr.IsLeader(3) || pr.IsLeader(4) {
+		t.Error("IsLeader misassigns")
+	}
+	if pr.BlockInstrs(3) != 9 {
+		t.Errorf("BlockInstrs(3) = %d, want 9", pr.BlockInstrs(3))
+	}
+	var total uint64
+	for _, l := range pr.Leaders {
+		total += pr.BlockInstrs(l)
+	}
+	if total != pr.TotalInstrs {
+		t.Errorf("sum of block instrs %d != total %d", total, pr.TotalInstrs)
+	}
+}
+
+// TestProfileEdgeFlowConservation checks a structural CFG property on a
+// generated benchmark: for every block, inflow and execution count agree
+// (modulo the entry block) — the property the reaching-probability
+// engine's transition matrix relies on.
+func TestProfileEdgeFlowConservation(t *testing.T) {
+	b := isa.NewBuilder("flow")
+	b.Func("main")
+	b.Li(1, 6)
+	b.Li(2, 0)
+	b.Li(3, 1)
+	b.Label("top")
+	b.Op3(isa.OpAnd, 4, 2, 3)
+	b.Branch(isa.OpBeq, 4, 0, "even")
+	b.Addi(5, 5, 2)
+	b.Jmp("join")
+	b.Label("even")
+	b.Addi(5, 5, 1)
+	b.Label("join")
+	b.Addi(2, 2, 1)
+	b.Branch(isa.OpBltu, 2, 1, "top")
+	b.Halt()
+	res, err := Run(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := res.Profile
+	inflow := map[uint32]uint64{}
+	for e, c := range pr.EdgeCount {
+		inflow[e.To] += c
+	}
+	for _, l := range pr.Leaders {
+		want := pr.BlockCount[l]
+		if l == 0 {
+			want-- // entry visited once without an incoming edge
+		}
+		if inflow[l] != want {
+			t.Errorf("block %d inflow %d != count %d", l, inflow[l], want)
+		}
+	}
+}

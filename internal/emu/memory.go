@@ -1,0 +1,43 @@
+package emu
+
+// pageBits selects a 4KiB page (512 64-bit words).
+const (
+	pageBits  = 12
+	pageWords = 1 << (pageBits - 3)
+	pageMask  = (1 << pageBits) - 1
+)
+
+// Memory is a sparse, paged 64-bit word memory. Addresses are byte
+// addresses; accesses operate on naturally aligned 8-byte words (the low
+// three address bits are ignored). The zero value is ready to use.
+type Memory struct {
+	pages map[uint64]*[pageWords]uint64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageWords]uint64)}
+}
+
+// Load reads the 64-bit word at addr (missing pages read as zero).
+func (m *Memory) Load(addr uint64) uint64 {
+	page, ok := m.pages[addr>>pageBits]
+	if !ok {
+		return 0
+	}
+	return page[(addr&pageMask)>>3]
+}
+
+// Store writes the 64-bit word at addr, allocating the page if needed.
+func (m *Memory) Store(addr, val uint64) {
+	key := addr >> pageBits
+	page, ok := m.pages[key]
+	if !ok {
+		page = new([pageWords]uint64)
+		m.pages[key] = page
+	}
+	page[(addr&pageMask)>>3] = val
+}
+
+// Pages returns the number of allocated pages (for diagnostics).
+func (m *Memory) Pages() int { return len(m.pages) }

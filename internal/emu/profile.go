@@ -1,0 +1,126 @@
+package emu
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Edge is a dynamic control-flow transition between two basic blocks,
+// identified by their leader PCs.
+type Edge struct {
+	From, To uint32
+}
+
+// CallStat aggregates the dynamic behaviour of one call site.
+type CallStat struct {
+	Count       uint64 // number of times the call executed and returned
+	TotalInstrs uint64 // dynamic instructions from the call to its return, inclusive of the callee
+}
+
+// AvgLen returns the mean dynamic instruction count per invocation.
+func (c CallStat) AvgLen() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return float64(c.TotalInstrs) / float64(c.Count)
+}
+
+// Profile is the ATOM-style execution profile: basic-block execution
+// counts, dynamic edge frequencies, per-call-site statistics, and totals.
+// Blocks are identified by their leader PC.
+type Profile struct {
+	Program *isa.Program
+
+	// Leaders is the sorted list of static basic-block leader PCs.
+	Leaders []uint32
+	// BlockLen maps a leader to the static length of its block.
+	BlockLen map[uint32]int
+	// BlockCount maps a leader to its dynamic execution count.
+	BlockCount map[uint32]uint64
+	// EdgeCount maps dynamic block-to-block transitions (including
+	// call and return transitions, context-insensitively) to counts.
+	EdgeCount map[Edge]uint64
+	// CallSites maps a call instruction's PC to its statistics.
+	CallSites map[uint32]CallStat
+	// TotalInstrs is the total number of dynamic instructions.
+	TotalInstrs uint64
+
+	leaderSet []bool // indexed by PC, true when the PC starts a block
+}
+
+// ComputeLeaders returns the sorted basic-block leader PCs of a program:
+// the entry, every control-flow target, and every fall-through successor
+// of a control instruction.
+func ComputeLeaders(p *isa.Program) []uint32 {
+	isLeader := make([]bool, len(p.Code))
+	isLeader[p.Entry] = true
+	for i := range p.Funcs {
+		isLeader[p.Funcs[i].Entry] = true
+	}
+	for pc, ins := range p.Code {
+		if !ins.Op.IsControl() {
+			continue
+		}
+		if ins.Op != isa.OpRet && ins.Op != isa.OpHalt {
+			isLeader[ins.Target] = true
+		}
+		if pc+1 < len(p.Code) {
+			isLeader[pc+1] = true
+		}
+	}
+	var leaders []uint32
+	for pc, l := range isLeader {
+		if l {
+			leaders = append(leaders, uint32(pc))
+		}
+	}
+	return leaders
+}
+
+// newProfile allocates a profile with static block structure precomputed.
+func newProfile(p *isa.Program) *Profile {
+	leaders := ComputeLeaders(p)
+	blockLen := make(map[uint32]int, len(leaders))
+	for i, l := range leaders {
+		end := uint32(len(p.Code))
+		if i+1 < len(leaders) {
+			end = leaders[i+1]
+		}
+		blockLen[l] = int(end - l)
+	}
+	leaderSet := make([]bool, len(p.Code))
+	for _, l := range leaders {
+		leaderSet[l] = true
+	}
+	return &Profile{
+		Program:    p,
+		Leaders:    leaders,
+		BlockLen:   blockLen,
+		BlockCount: make(map[uint32]uint64, len(leaders)),
+		EdgeCount:  make(map[Edge]uint64),
+		CallSites:  make(map[uint32]CallStat),
+		leaderSet:  leaderSet,
+	}
+}
+
+// BlockOf returns the leader PC of the block containing pc.
+func (pr *Profile) BlockOf(pc uint32) uint32 {
+	i := sort.Search(len(pr.Leaders), func(i int) bool { return pr.Leaders[i] > pc })
+	return pr.Leaders[i-1]
+}
+
+// IsLeader reports whether pc starts a basic block.
+func (pr *Profile) IsLeader(pc uint32) bool {
+	if pr.leaderSet != nil {
+		return pr.leaderSet[pc]
+	}
+	i := sort.Search(len(pr.Leaders), func(i int) bool { return pr.Leaders[i] >= pc })
+	return i < len(pr.Leaders) && pr.Leaders[i] == pc
+}
+
+// BlockInstrs returns the dynamic instruction count attributable to a
+// block: executions × static length.
+func (pr *Profile) BlockInstrs(leader uint32) uint64 {
+	return pr.BlockCount[leader] * uint64(pr.BlockLen[leader])
+}

@@ -1,0 +1,524 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Runner produces one figure's table.
+type Runner func(s *Suite) (*report.Table, error)
+
+// figures maps figure IDs to runners. See DESIGN.md §4 for the index.
+var figures = map[string]Runner{
+	"fig2":   Fig2PairCounts,
+	"fig3":   Fig3ProfileSpeedup,
+	"fig4":   Fig4ActiveThreads,
+	"fig5a":  Fig5aRemoval,
+	"fig5b":  Fig5bOccurrences,
+	"fig6":   Fig6Reassign,
+	"fig7a":  Fig7aThreadSize,
+	"fig7b":  Fig7bMinSize,
+	"fig8":   Fig8VsHeuristics,
+	"fig9a":  Fig9aVPAccuracy,
+	"fig9b":  Fig9bStrideSpeedup,
+	"fig10a": Fig10aCriteriaAccuracy,
+	"fig10b": Fig10bCriteriaSpeedup,
+	"fig11":  Fig11Overhead,
+	"fig12":  Fig12FourTU,
+}
+
+// Run executes the runner for a figure ID.
+func (s *Suite) Run(id string) (*report.Table, error) {
+	r, ok := figures[id]
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	return r(s)
+}
+
+// removalFor returns the per-benchmark alone-cycle removal threshold the
+// paper settles on: 50 cycles, except compress where aggressive removal
+// collapses its small pair set and 200 is used (§4.2, Figure 6).
+func removalFor(name string) int64 {
+	if name == "compress" {
+		return 200
+	}
+	return 50
+}
+
+// Fig2PairCounts reproduces Figure 2: candidate spawning pairs passing
+// the thresholds vs selected pairs (distinct spawning points).
+func Fig2PairCounts(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 2: candidate pairs vs selected pairs (min prob 0.95, min distance 32)",
+		Columns: []string{"benchmark", "total-pairs", "selected", "return-pairs", "cfg-nodes", "coverage"},
+	}
+	var totals, selected float64
+	for _, b := range s.Benches {
+		tab, err := b.ProfileTable(core.MaxDistance)
+		if err != nil {
+			return nil, err
+		}
+		returns := 0
+		for _, p := range tab.Primary {
+			if p.Kind == core.KindReturn {
+				returns++
+			}
+		}
+		t.AddRow(b.Name, report.FmtInt(int64(tab.TotalCandidates)), report.FmtInt(int64(tab.Len())),
+			report.FmtInt(int64(returns)), report.FmtInt(int64(len(b.Graph.Nodes))), report.FmtPct(b.Graph.Coverage))
+		totals += float64(tab.TotalCandidates)
+		selected += float64(tab.Len())
+	}
+	n := float64(len(s.Benches))
+	t.AddRow("Amean", report.Fmt(totals/n), report.Fmt(selected/n), "", "", "")
+	t.Note = "paper: avg 6218 total / 499 selected on full SpecInt95; shape target = total >> selected, gcc largest, compress smallest"
+	return t, nil
+}
+
+// Fig3ProfileSpeedup reproduces Figure 3: 16-TU speed-up over a single
+// thread, profile policy, perfect value prediction.
+func Fig3ProfileSpeedup(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 3: speed-up, 16 TUs, profile-based pairs, perfect value prediction",
+		Columns: []string{"benchmark", "base-cycles", "smt-cycles", "speed-up"},
+	}
+	var sp []float64
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16})
+		if err != nil {
+			return nil, err
+		}
+		v := stats.Speedup(base, r.Cycles)
+		sp = append(sp, v)
+		t.AddRow(b.Name, report.FmtInt(base), report.FmtInt(r.Cycles), report.Fmt(v))
+	}
+	t.AddRow("Hmean", "", "", report.Fmt(stats.HarmonicMean(sp)))
+	t.Note = "paper: hmean 7.2, ijpeg highest (11.9)"
+	return t, nil
+}
+
+// Fig4ActiveThreads reproduces Figure 4: average number of active
+// threads for the Figure 3 configuration.
+func Fig4ActiveThreads(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 4: average active threads, 16 TUs, profile pairs, perfect prediction",
+		Columns: []string{"benchmark", "active-threads", "allocated-threads"},
+	}
+	var act []float64
+	for _, b := range s.Benches {
+		r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16})
+		if err != nil {
+			return nil, err
+		}
+		act = append(act, r.AvgActiveThreads)
+		t.AddRow(b.Name, report.Fmt(r.AvgActiveThreads), report.Fmt(r.AvgAllocatedThreads))
+	}
+	t.AddRow("Amean", report.Fmt(stats.ArithmeticMean(act)), "")
+	t.Note = "paper: amean 7.5, ijpeg 9.0"
+	return t, nil
+}
+
+// Fig5aRemoval reproduces Figure 5a: spawning-pair removal after
+// executing alone for 0 (never) / 50 / 200 cycles.
+func Fig5aRemoval(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 5a: speed-up under spawning-pair removal (alone-cycle thresholds)",
+		Columns: []string{"benchmark", "no-removal", "removal-50", "removal-200"},
+	}
+	var v0, v50, v200 []float64
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{b.Name}
+		for _, rm := range []int64{0, 50, 200} {
+			r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm})
+			if err != nil {
+				return nil, err
+			}
+			v := stats.Speedup(base, r.Cycles)
+			row = append(row, report.Fmt(v))
+			switch rm {
+			case 0:
+				v0 = append(v0, v)
+			case 50:
+				v50 = append(v50, v)
+			default:
+				v200 = append(v200, v)
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(v0)), report.Fmt(stats.HarmonicMean(v50)), report.Fmt(stats.HarmonicMean(v200)))
+	t.Note = "paper: 200-cycle removal ~10% over no removal; compress drops sharply at 50"
+	return t, nil
+}
+
+// Fig5bOccurrences reproduces Figure 5b: delaying 50-cycle removal until
+// the alone condition has occurred 1 / 8 / 16 times.
+func Fig5bOccurrences(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 5b: 50-cycle removal delayed by occurrence count",
+		Columns: []string{"benchmark", "1-occurrence", "8-occurrences", "16-occurrences"},
+	}
+	means := map[int][]float64{}
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{b.Name}
+		for _, oc := range []int{1, 8, 16} {
+			r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: 50, Occur: oc})
+			if err != nil {
+				return nil, err
+			}
+			v := stats.Speedup(base, r.Cycles)
+			row = append(row, report.Fmt(v))
+			means[oc] = append(means[oc], v)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(means[1])), report.Fmt(stats.HarmonicMean(means[8])), report.Fmt(stats.HarmonicMean(means[16])))
+	t.Note = "paper: delay helps mainly compress; others lose slightly"
+	return t, nil
+}
+
+// Fig6Reassign reproduces Figure 6: reassign policy vs plain removal.
+func Fig6Reassign(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 6: reassign policy vs removal (50 cycles; compress 200)",
+		Columns: []string{"benchmark", "removal", "reassign"},
+	}
+	var vr, va []float64
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		rm := removalFor(b.Name)
+		r1, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm})
+		if err != nil {
+			return nil, err
+		}
+		r2, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm, Reassign: true})
+		if err != nil {
+			return nil, err
+		}
+		s1, s2 := stats.Speedup(base, r1.Cycles), stats.Speedup(base, r2.Cycles)
+		vr = append(vr, s1)
+		va = append(va, s2)
+		t.AddRow(b.Name, report.Fmt(s1), report.Fmt(s2))
+	}
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(vr)), report.Fmt(stats.HarmonicMean(va)))
+	t.Note = "paper: reassign is slightly worse (it creates small threads)"
+	return t, nil
+}
+
+// Fig7aThreadSize reproduces Figure 7a: average committed speculative
+// thread size under the removal policy.
+func Fig7aThreadSize(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 7a: average thread size (instructions), removal policy, no reassign",
+		Columns: []string{"benchmark", "avg-thread-size", "threads-committed"},
+	}
+	var sizes []float64
+	for _, b := range s.Benches {
+		r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: removalFor(b.Name)})
+		if err != nil {
+			return nil, err
+		}
+		sizes = append(sizes, r.AvgThreadSize)
+		t.AddRow(b.Name, report.Fmt(r.AvgThreadSize), report.FmtInt(r.ThreadsCommitted))
+	}
+	t.AddRow("Amean", report.Fmt(stats.ArithmeticMean(sizes)), "")
+	t.Note = "paper: most benchmarks below 32 due to overlapped spawns truncating threads"
+	return t, nil
+}
+
+// Fig7bMinSize reproduces Figure 7b: enforcing a 32-instruction minimum
+// thread size.
+func Fig7bMinSize(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 7b: enforcing minimum thread size 32 (removal 50; compress 200)",
+		Columns: []string{"benchmark", "no-minimum", "minimum-32"},
+	}
+	var v0, v32 []float64
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		rm := removalFor(b.Name)
+		r1, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm})
+		if err != nil {
+			return nil, err
+		}
+		r2, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm, MinSize: 32})
+		if err != nil {
+			return nil, err
+		}
+		s1, s2 := stats.Speedup(base, r1.Cycles), stats.Speedup(base, r2.Cycles)
+		v0 = append(v0, s1)
+		v32 = append(v32, s2)
+		t.AddRow(b.Name, report.Fmt(s1), report.Fmt(s2))
+	}
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(v0)), report.Fmt(stats.HarmonicMean(v32)))
+	t.Note = "paper: ~10% over the plain removal policy"
+	return t, nil
+}
+
+// Fig8VsHeuristics reproduces Figure 8: profile-based speed-up over the
+// combined traditional heuristics (perfect prediction, 16 TUs).
+func Fig8VsHeuristics(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 8: profile-based vs combined heuristics (16 TUs, perfect prediction)",
+		Columns: []string{"benchmark", "profile", "heuristics", "ratio"},
+	}
+	var vp, vh []float64
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16})
+		if err != nil {
+			return nil, err
+		}
+		rh, err := s.Sim(b, SimSpec{Policy: "heuristics", TUs: 16})
+		if err != nil {
+			return nil, err
+		}
+		sp, sh := stats.Speedup(base, rp.Cycles), stats.Speedup(base, rh.Cycles)
+		vp = append(vp, sp)
+		vh = append(vh, sh)
+		t.AddRow(b.Name, report.Fmt(sp), report.Fmt(sh), report.Fmt(stats.Ratio(sp, sh)))
+	}
+	hp, hh := stats.HarmonicMean(vp), stats.HarmonicMean(vh)
+	t.AddRow("Hmean", report.Fmt(hp), report.Fmt(hh), report.Fmt(stats.Ratio(hp, hh)))
+	t.Note = "paper: profile wins by ~20% on average; perl slightly loses"
+	return t, nil
+}
+
+// Fig9aVPAccuracy reproduces Figure 9a: live-in value prediction
+// accuracy for stride and context predictors under both policies.
+func Fig9aVPAccuracy(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 9a: live-in value prediction accuracy (16KB predictors)",
+		Columns: []string{"benchmark", "stride+profile", "context+profile", "stride+heur", "context+heur"},
+	}
+	accs := make(map[string][]float64)
+	for _, b := range s.Benches {
+		row := []string{b.Name}
+		for _, c := range []struct {
+			pol  string
+			pred cluster.PredictorKind
+			key  string
+		}{
+			{"profile", cluster.Stride, "sp"}, {"profile", cluster.Context, "cp"},
+			{"heuristics", cluster.Stride, "sh"}, {"heuristics", cluster.Context, "ch"},
+		} {
+			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.FmtPct(r.VPAccuracy()))
+			accs[c.key] = append(accs[c.key], r.VPAccuracy())
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Amean", report.FmtPct(stats.ArithmeticMean(accs["sp"])), report.FmtPct(stats.ArithmeticMean(accs["cp"])),
+		report.FmtPct(stats.ArithmeticMean(accs["sh"])), report.FmtPct(stats.ArithmeticMean(accs["ch"])))
+	t.Note = "paper: ~70% for all four combinations"
+	return t, nil
+}
+
+// Fig9bStrideSpeedup reproduces Figure 9b: perfect vs stride prediction
+// speed-ups for both policies.
+func Fig9bStrideSpeedup(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 9b: speed-ups with perfect vs stride prediction (16 TUs)",
+		Columns: []string{"benchmark", "perfect+profile", "stride+profile", "perfect+heur", "stride+heur"},
+	}
+	cols := map[string][]float64{}
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{b.Name}
+		for _, c := range []struct {
+			pol  string
+			pred cluster.PredictorKind
+			key  string
+		}{
+			{"profile", cluster.Perfect, "pp"}, {"profile", cluster.Stride, "sp"},
+			{"heuristics", cluster.Perfect, "ph"}, {"heuristics", cluster.Stride, "sh"},
+		} {
+			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred})
+			if err != nil {
+				return nil, err
+			}
+			v := stats.Speedup(base, r.Cycles)
+			row = append(row, report.Fmt(v))
+			cols[c.key] = append(cols[c.key], v)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(cols["pp"])), report.Fmt(stats.HarmonicMean(cols["sp"])),
+		report.Fmt(stats.HarmonicMean(cols["ph"])), report.Fmt(stats.HarmonicMean(cols["sh"])))
+	t.Note = "paper: stride keeps >6 (profile) vs ~5.5 (heuristics); both lose 25-34% vs perfect"
+	return t, nil
+}
+
+// Fig10aCriteriaAccuracy reproduces Figure 10a: prediction accuracy when
+// CQIPs are chosen by the independent / predictable criteria.
+func Fig10aCriteriaAccuracy(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 10a: prediction accuracy for independent/predictable ordering criteria",
+		Columns: []string{"benchmark", "stride+indep", "context+indep", "stride+pred", "context+pred"},
+	}
+	accs := map[string][]float64{}
+	for _, b := range s.Benches {
+		row := []string{b.Name}
+		for _, c := range []struct {
+			pol  string
+			pred cluster.PredictorKind
+			key  string
+		}{
+			{"profile-indep", cluster.Stride, "si"}, {"profile-indep", cluster.Context, "ci"},
+			{"profile-pred", cluster.Stride, "sp"}, {"profile-pred", cluster.Context, "cp"},
+		} {
+			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.FmtPct(r.VPAccuracy()))
+			accs[c.key] = append(accs[c.key], r.VPAccuracy())
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Amean", report.FmtPct(stats.ArithmeticMean(accs["si"])), report.FmtPct(stats.ArithmeticMean(accs["ci"])),
+		report.FmtPct(stats.ArithmeticMean(accs["sp"])), report.FmtPct(stats.ArithmeticMean(accs["cp"])))
+	t.Note = "paper: the predictable criterion reaches ~75%, best accuracy"
+	return t, nil
+}
+
+// Fig10bCriteriaSpeedup reproduces Figure 10b: speed-ups of the
+// independent and predictable criteria (stride predictor).
+func Fig10bCriteriaSpeedup(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 10b: speed-up of independent/predictable criteria vs max-distance (stride)",
+		Columns: []string{"benchmark", "max-distance", "independent", "predictable"},
+	}
+	cols := map[string][]float64{}
+	for _, b := range s.Benches {
+		base, err := s.Baseline(b)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{b.Name}
+		for _, c := range []struct{ pol, key string }{
+			{"profile", "d"}, {"profile-indep", "i"}, {"profile-pred", "p"},
+		} {
+			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: cluster.Stride})
+			if err != nil {
+				return nil, err
+			}
+			v := stats.Speedup(base, r.Cycles)
+			row = append(row, report.Fmt(v))
+			cols[c.key] = append(cols[c.key], v)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(cols["d"])), report.Fmt(stats.HarmonicMean(cols["i"])),
+		report.Fmt(stats.HarmonicMean(cols["p"])))
+	t.Note = "paper: both alternatives ~35% below max-distance (smaller threads)"
+	return t, nil
+}
+
+// Fig11Overhead reproduces Figure 11: slow-down from an 8-cycle thread
+// initialisation overhead (stride predictor).
+func Fig11Overhead(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 11: slow-down from 8-cycle spawn overhead (stride predictor)",
+		Columns: []string{"benchmark", "profile", "heuristics"},
+	}
+	var vp, vh []float64
+	for _, b := range s.Benches {
+		row := []string{b.Name}
+		for _, pol := range []string{"profile", "heuristics"} {
+			r0, err := s.Sim(b, SimSpec{Policy: pol, TUs: 16, Predictor: cluster.Stride})
+			if err != nil {
+				return nil, err
+			}
+			r8, err := s.Sim(b, SimSpec{Policy: pol, TUs: 16, Predictor: cluster.Stride, Overhead: 8})
+			if err != nil {
+				return nil, err
+			}
+			// Slow-down: fraction of performance retained with overhead.
+			v := float64(r0.Cycles) / float64(r8.Cycles)
+			row = append(row, report.Fmt(v))
+			if pol == "profile" {
+				vp = append(vp, v)
+			} else {
+				vh = append(vh, v)
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(vp)), report.Fmt(stats.HarmonicMean(vh)))
+	t.Note = "paper: ~12% slow-down (value ~0.88) for both policies"
+	return t, nil
+}
+
+// Fig12FourTU reproduces Figure 12: average speed-ups on a 4-TU
+// processor for perfect, stride, and stride+overhead.
+func Fig12FourTU(s *Suite) (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Figure 12: average speed-ups, 4 thread units",
+		Columns: []string{"config", "profile", "heuristics"},
+	}
+	type cfgRow struct {
+		name string
+		pred cluster.PredictorKind
+		ov   int64
+	}
+	rows := []cfgRow{
+		{"perfect", cluster.Perfect, 0},
+		{"stride", cluster.Stride, 0},
+		{"stride+overhead", cluster.Stride, 8},
+	}
+	for _, cr := range rows {
+		var vp, vh []float64
+		for _, b := range s.Benches {
+			base, err := s.Baseline(b)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 4, Predictor: cr.pred, Overhead: cr.ov})
+			if err != nil {
+				return nil, err
+			}
+			rh, err := s.Sim(b, SimSpec{Policy: "heuristics", TUs: 4, Predictor: cr.pred, Overhead: cr.ov})
+			if err != nil {
+				return nil, err
+			}
+			vp = append(vp, stats.Speedup(base, rp.Cycles))
+			vh = append(vh, stats.Speedup(base, rh.Cycles))
+		}
+		t.AddRow(cr.name, report.Fmt(stats.HarmonicMean(vp)), report.Fmt(stats.HarmonicMean(vh)))
+	}
+	t.Note = "paper: perfect 2.75 / stride ~2 / stride+overhead ~1.9 (profile)"
+	return t, nil
+}

@@ -1,0 +1,240 @@
+// Package expt reproduces the paper's evaluation: one runner per figure
+// (Figures 2–12), sharing a per-benchmark pipeline cache (program →
+// trace → profile → pruned CFG → reach matrices → spawn tables) and a
+// simulation-result cache so figures that reuse configurations do not
+// re-simulate.
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/heuristic"
+	"repro/internal/reach"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Coverage and node cap for the pruned dynamic CFG (paper: 90%).
+const (
+	pruneCoverage = 0.90
+	pruneMaxNodes = 256
+)
+
+// spawnWindowFactor is the expected-distance misspeculation window
+// applied to profile-table pairs (see cluster.Config.SpawnWindowFactor
+// and DESIGN.md §3.2). Construct pairs always use construct-level
+// detection.
+const spawnWindowFactor = 4
+
+// Bench caches every pipeline artefact for one benchmark.
+type Bench struct {
+	Name    string
+	Trace   *trace.Trace
+	Profile *emu.Profile
+	Graph   *cfg.Graph
+	Reach   *reach.Result
+
+	profTables map[core.Criterion]*core.Table
+	heurTable  *core.Table
+}
+
+// Suite is the whole evaluation context.
+type Suite struct {
+	Size    workload.SizeClass
+	Benches []*Bench
+
+	simCache map[string]*cluster.Result
+}
+
+// NewSuite builds the pipeline for the given benchmarks (nil = the full
+// SpecInt95-like suite) at the given size.
+func NewSuite(size workload.SizeClass, names []string) (*Suite, error) {
+	if names == nil {
+		names = workload.Benchmarks
+	}
+	s := &Suite{Size: size, simCache: make(map[string]*cluster.Result)}
+	for _, name := range names {
+		b, err := buildBench(name, size)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", name, err)
+		}
+		s.Benches = append(s.Benches, b)
+	}
+	return s, nil
+}
+
+func buildBench(name string, size workload.SizeClass) (*Bench, error) {
+	prog, err := workload.Generate(name, size)
+	if err != nil {
+		return nil, err
+	}
+	res, err := emu.Run(prog, emu.Config{CollectTrace: true})
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(res.Profile).Prune(pruneCoverage, pruneMaxNodes)
+	if err != nil {
+		return nil, err
+	}
+	r, err := reach.Compute(g)
+	if err != nil {
+		return nil, err
+	}
+	res.Trace.BuildIndex()
+	return &Bench{
+		Name:       name,
+		Trace:      res.Trace,
+		Profile:    res.Profile,
+		Graph:      g,
+		Reach:      r,
+		profTables: make(map[core.Criterion]*core.Table),
+	}, nil
+}
+
+// ProfileTable returns (building on first use) the profile-based spawn
+// table under the given ordering criterion.
+func (b *Bench) ProfileTable(crit core.Criterion) (*core.Table, error) {
+	if t, ok := b.profTables[crit]; ok {
+		return t, nil
+	}
+	t, err := core.Select(b.Profile, b.Graph, b.Reach, b.Trace, core.Config{Criterion: crit})
+	if err != nil {
+		return nil, err
+	}
+	b.profTables[crit] = t
+	return t, nil
+}
+
+// HeuristicTable returns (building on first use) the combined
+// traditional-heuristics table.
+func (b *Bench) HeuristicTable() *core.Table {
+	if b.heurTable == nil {
+		b.heurTable = heuristic.Pairs(b.Trace.Program, b.Profile, b.Trace, heuristic.Combined, heuristic.Config{})
+	}
+	return b.heurTable
+}
+
+// SimSpec names a simulation configuration for caching.
+type SimSpec struct {
+	Bench     string
+	Policy    string // "none", "profile", "heuristics", "profile-indep", "profile-pred"
+	TUs       int
+	Predictor cluster.PredictorKind
+	Overhead  int64
+	Removal   int64
+	Occur     int
+	Reassign  bool
+	MinSize   int
+}
+
+func (sp SimSpec) key() string {
+	return fmt.Sprintf("%s/%s/tu%d/p%d/ov%d/rm%d/oc%d/ra%v/ms%d",
+		sp.Bench, sp.Policy, sp.TUs, sp.Predictor, sp.Overhead, sp.Removal, sp.Occur, sp.Reassign, sp.MinSize)
+}
+
+// table resolves the policy name to a spawn table (nil for "none").
+func (s *Suite) table(b *Bench, policy string) (*core.Table, error) {
+	switch policy {
+	case "none":
+		return nil, nil
+	case "profile":
+		return b.ProfileTable(core.MaxDistance)
+	case "profile-indep":
+		return b.ProfileTable(core.MaxIndependent)
+	case "profile-pred":
+		return b.ProfileTable(core.MaxPredictable)
+	case "heuristics":
+		return b.HeuristicTable(), nil
+	default:
+		return nil, fmt.Errorf("expt: unknown policy %q", policy)
+	}
+}
+
+// Sim runs (or fetches from cache) one simulation.
+func (s *Suite) Sim(b *Bench, sp SimSpec) (*cluster.Result, error) {
+	sp.Bench = b.Name
+	key := sp.key()
+	if r, ok := s.simCache[key]; ok {
+		return r, nil
+	}
+	tab, err := s.table(b, sp.Policy)
+	if err != nil {
+		return nil, err
+	}
+	cfgSim := cluster.Config{
+		TUs:                sp.TUs,
+		Pairs:              tab,
+		Predictor:          sp.Predictor,
+		SpawnOverhead:      sp.Overhead,
+		RemovalCycles:      sp.Removal,
+		RemovalOccurrences: sp.Occur,
+		Reassign:           sp.Reassign,
+		MinThreadSize:      sp.MinSize,
+		SpawnWindowFactor:  spawnWindowFactor,
+	}
+	r, err := cluster.Simulate(b.Trace, cfgSim)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s: %w", key, err)
+	}
+	s.simCache[key] = r
+	return r, nil
+}
+
+// Baseline returns the single-threaded cycle count for a benchmark.
+func (s *Suite) Baseline(b *Bench) (int64, error) {
+	r, err := s.Sim(b, SimSpec{Policy: "none", TUs: 1})
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+// Bench returns the named benchmark from the suite, or nil.
+func (s *Suite) Bench(name string) *Bench {
+	for _, b := range s.Benches {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Names returns the suite's benchmark names in order.
+func (s *Suite) Names() []string {
+	names := make([]string, len(s.Benches))
+	for i, b := range s.Benches {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// FigureIDs lists every reproducible figure in paper order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(figures))
+	for id := range figures {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		na, nb := figOrder(ids[a]), figOrder(ids[b])
+		if na != nb {
+			return na < nb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+func figOrder(id string) int {
+	n := 0
+	for _, c := range id {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	return n
+}

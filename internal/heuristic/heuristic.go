@@ -1,0 +1,156 @@
+// Package heuristic derives the traditional spawning schemes the paper
+// compares against (HPCA'02 §3 and [15]): loop-iteration,
+// loop-continuation, and subroutine-continuation pairs, plus their
+// combination. Unlike the profile-based scheme, these heuristics attach
+// threads to program constructs without probability or size filtering —
+// that is exactly the weakness the paper exploits.
+package heuristic
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Scheme selects which construct-based pairs to generate.
+type Scheme int
+
+// Individual schemes and the paper's combined baseline.
+const (
+	LoopIteration Scheme = 1 << iota
+	LoopContinuation
+	SubroutineContinuation
+
+	// Combined is the baseline the paper compares against: the union
+	// of all three schemes.
+	Combined = LoopIteration | LoopContinuation | SubroutineContinuation
+)
+
+// String names the scheme set.
+func (s Scheme) String() string {
+	switch s {
+	case LoopIteration:
+		return "loop-iteration"
+	case LoopContinuation:
+		return "loop-continuation"
+	case SubroutineContinuation:
+		return "subroutine-continuation"
+	case Combined:
+		return "combined-heuristics"
+	}
+	out := ""
+	if s&LoopIteration != 0 {
+		out += "+loop-iteration"
+	}
+	if s&LoopContinuation != 0 {
+		out += "+loop-continuation"
+	}
+	if s&SubroutineContinuation != 0 {
+		out += "+subroutine-continuation"
+	}
+	if out == "" {
+		return "none"
+	}
+	return out[1:]
+}
+
+// Config controls pair derivation.
+type Config struct {
+	// MinCount drops constructs never seen executing in the profile
+	// (default 1 dynamic execution of the SP block).
+	MinCount uint64
+	// Dep bounds the dependence-analysis sampling for live-ins.
+	Dep dep.Config
+}
+
+// Pairs derives the heuristic spawn-pair table for a program from its
+// static structure, profile, and trace.
+//
+// Loop iteration: the target of a backward control transfer is both SP
+// and CQIP. Loop continuation: the loop head is the SP and the
+// instruction after the closing backward branch is the CQIP.
+// Subroutine continuation: every call is an SP with its fall-through as
+// CQIP.
+func Pairs(p *isa.Program, pr *emu.Profile, tr *trace.Trace, scheme Scheme, cfg Config) *core.Table {
+	minCount := cfg.MinCount
+	if minCount == 0 {
+		minCount = 1
+	}
+
+	type protoPair struct {
+		sp, cqip uint32
+		kind     core.PairKind
+		loopEnd  uint32
+		alt      bool // a later scheme hit an SP already taken
+	}
+	var protos []protoPair
+	seen := make(map[uint32]bool)
+	seenPair := make(map[dep.Key]bool)
+
+	add := func(sp, cqip uint32, kind core.PairKind, loopEnd uint32) {
+		if seenPair[dep.Key{SP: sp, CQIP: cqip}] {
+			return
+		}
+		if pr.BlockCount[pr.BlockOf(sp)] < minCount {
+			return
+		}
+		seenPair[dep.Key{SP: sp, CQIP: cqip}] = true
+		protos = append(protos, protoPair{sp: sp, cqip: cqip, kind: kind, loopEnd: loopEnd, alt: seen[sp]})
+		seen[sp] = true
+	}
+
+	// Scan static code for backward control edges and calls, in PC
+	// order for determinism.
+	for pc := 0; pc < p.Len(); pc++ {
+		ins := &p.Code[pc]
+		backward := (ins.Op.IsBranch() || ins.Op == isa.OpJmp) && ins.Target <= uint32(pc)
+		if backward {
+			head := ins.Target
+			if scheme&LoopIteration != 0 {
+				add(head, head, core.KindLoopIter, uint32(pc))
+			}
+			if scheme&LoopContinuation != 0 && pc+1 < p.Len() {
+				add(head, uint32(pc)+1, core.KindLoopCont, uint32(pc))
+			}
+		}
+		if ins.Op == isa.OpCall && scheme&SubroutineContinuation != 0 && pc+1 < p.Len() {
+			add(uint32(pc), uint32(pc)+1, core.KindSubCont, 0)
+		}
+	}
+
+	// Live-ins and measured distances from the trace.
+	tr.BuildIndex()
+	reqs := make([]dep.Request, 0, len(protos))
+	for _, pp := range protos {
+		reqs = append(reqs, dep.Request{Key: dep.Key{SP: pp.sp, CQIP: pp.cqip}})
+	}
+	stats := dep.Analyze(tr, reqs, cfg.Dep)
+
+	table := &core.Table{Alternates: make(map[uint32][]core.Pair)}
+	for _, pp := range protos {
+		pair := core.Pair{SP: pp.sp, CQIP: pp.cqip, Kind: pp.kind, LoopEnd: pp.loopEnd, Prob: 1}
+		if st := stats[dep.Key{SP: pp.sp, CQIP: pp.cqip}]; st != nil {
+			if st.Occurrences == 0 {
+				continue // construct never completes an SP→CQIP instance
+			}
+			pair.Dist = st.AvgDist
+			pair.Score = st.AvgDist
+			pair.LiveIns = st.LiveIns
+			pair.Predictable = st.PredictableLiveIns(dep.PredictableThreshold)
+			pair.AvgIndep = st.AvgIndep
+			pair.AvgPred = st.AvgPred
+		}
+		if pp.alt {
+			table.Alternates[pp.sp] = append(table.Alternates[pp.sp], pair)
+		} else {
+			table.Primary = append(table.Primary, pair)
+		}
+	}
+	table.TotalCandidates = len(table.Primary)
+	sort.Slice(table.Primary, func(a, b int) bool { return table.Primary[a].SP < table.Primary[b].SP })
+	return table
+}

@@ -1,0 +1,185 @@
+package heuristic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, p *isa.Program) (*emu.Profile, *trace.Trace) {
+	t.Helper()
+	res, err := emu.Run(p, emu.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Profile, res.Trace
+}
+
+func kinds(tab *core.Table) map[core.PairKind]int {
+	m := map[core.PairKind]int{}
+	for _, p := range tab.Primary {
+		m[p.Kind]++
+	}
+	return m
+}
+
+func TestLoopIterationPair(t *testing.T) {
+	p := workload.KernelCountLoop(50, 4)
+	pr, tr := run(t, p)
+	tab := Pairs(p, pr, tr, LoopIteration, Config{})
+	if len(tab.Primary) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(tab.Primary))
+	}
+	pair := tab.Primary[0]
+	if pair.Kind != core.KindLoopIter {
+		t.Errorf("kind = %v", pair.Kind)
+	}
+	if pair.SP != pair.CQIP {
+		t.Errorf("loop-iteration pair must have SP == CQIP, got %d -> %d", pair.SP, pair.CQIP)
+	}
+	if pair.SP != 2 { // loop head
+		t.Errorf("SP = %d, want 2", pair.SP)
+	}
+	// Iteration size: pad 4 + addi + branch = 6.
+	if pair.Dist != 6 {
+		t.Errorf("dist = %v, want 6", pair.Dist)
+	}
+}
+
+func TestLoopContinuationPair(t *testing.T) {
+	p := workload.KernelCountLoop(50, 4)
+	pr, tr := run(t, p)
+	tab := Pairs(p, pr, tr, LoopContinuation, Config{})
+	if len(tab.Primary) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(tab.Primary))
+	}
+	pair := tab.Primary[0]
+	if pair.Kind != core.KindLoopCont {
+		t.Errorf("kind = %v", pair.Kind)
+	}
+	if pair.SP != 2 || pair.CQIP != 8 { // instruction after the backedge
+		t.Errorf("pair = %d -> %d, want 2 -> 8", pair.SP, pair.CQIP)
+	}
+	// Only the final iteration reaches the continuation without
+	// revisiting the head: distance = one iteration.
+	if pair.Dist != 6 {
+		t.Errorf("dist = %v, want 6", pair.Dist)
+	}
+}
+
+func TestSubroutineContinuationPair(t *testing.T) {
+	p := workload.KernelCallChain(20, 5)
+	pr, tr := run(t, p)
+	tab := Pairs(p, pr, tr, SubroutineContinuation, Config{})
+	if len(tab.Primary) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(tab.Primary))
+	}
+	pair := tab.Primary[0]
+	if pair.Kind != core.KindSubCont {
+		t.Errorf("kind = %v", pair.Kind)
+	}
+	if pair.CQIP != pair.SP+1 {
+		t.Errorf("continuation must follow the call: %d -> %d", pair.SP, pair.CQIP)
+	}
+	// call + li + 5×2 pad + or + ret = 14 dynamic instructions.
+	if pair.Dist != 14 {
+		t.Errorf("dist = %v", pair.Dist)
+	}
+}
+
+func TestCombinedUnion(t *testing.T) {
+	p := workload.MustGenerate("vortex", workload.SizeTest)
+	pr, tr := run(t, p)
+	comb := Pairs(p, pr, tr, Combined, Config{})
+	km := kinds(comb)
+	if km[core.KindLoopIter] == 0 || km[core.KindSubCont] == 0 {
+		t.Errorf("combined missing kinds: %v", km)
+	}
+	// Union covers at least as many SPs as each individual scheme.
+	for _, s := range []Scheme{LoopIteration, LoopContinuation, SubroutineContinuation} {
+		ind := Pairs(p, pr, tr, s, Config{})
+		if comb.Len() < ind.Len() {
+			t.Errorf("combined %d < %v %d", comb.Len(), s, ind.Len())
+		}
+	}
+}
+
+func TestColdConstructsDropped(t *testing.T) {
+	// A loop behind a never-taken branch must not produce pairs.
+	b := isa.NewBuilder("cold")
+	b.Func("main")
+	b.Li(8, 1)
+	b.Branch(isa.OpBeq, 8, 0, "coldloop") // never taken
+	b.Li(9, 5)
+	b.Label("hot")
+	b.Addi(8, 8, 1)
+	b.Branch(isa.OpBltu, 8, 9, "hot")
+	b.Halt()
+	b.Label("coldloop")
+	b.Addi(10, 10, 1)
+	b.Branch(isa.OpBltu, 10, 9, "coldloop")
+	b.Jmp("hot")
+	p := b.MustBuild()
+	pr, tr := run(t, p)
+	tab := Pairs(p, pr, tr, Combined, Config{})
+	for _, pair := range tab.Primary {
+		if pair.SP >= 7 {
+			t.Errorf("cold-loop pair selected: %+v", pair)
+		}
+	}
+}
+
+func TestBackwardJmpIsLoop(t *testing.T) {
+	// Loop closed by jmp (conditional exit + unconditional backedge).
+	b := isa.NewBuilder("jmploop")
+	b.Func("main")
+	b.Li(8, 0)
+	b.Li(9, 10)
+	b.Label("head")
+	b.Addi(8, 8, 1)
+	b.Branch(isa.OpBgeu, 8, 9, "done")
+	b.Jmp("head")
+	b.Label("done")
+	b.Halt()
+	p := b.MustBuild()
+	pr, tr := run(t, p)
+	tab := Pairs(p, pr, tr, LoopIteration, Config{})
+	if len(tab.Primary) != 1 || tab.Primary[0].SP != 2 {
+		t.Errorf("jmp-closed loop not detected: %+v", tab.Primary)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	cases := map[Scheme]string{
+		LoopIteration:                    "loop-iteration",
+		LoopContinuation:                 "loop-continuation",
+		SubroutineContinuation:           "subroutine-continuation",
+		Combined:                         "combined-heuristics",
+		LoopIteration | LoopContinuation: "loop-iteration+loop-continuation",
+		Scheme(0):                        "none",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestLiveInsPopulated(t *testing.T) {
+	p := workload.MustGenerate("m88ksim", workload.SizeTest)
+	pr, tr := run(t, p)
+	tab := Pairs(p, pr, tr, Combined, Config{})
+	withLiveIns := 0
+	for _, pair := range tab.Primary {
+		if len(pair.LiveIns) > 0 {
+			withLiveIns++
+		}
+	}
+	if withLiveIns == 0 {
+		t.Error("no heuristic pair has live-ins")
+	}
+}

@@ -1,0 +1,164 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program incrementally with symbolic labels, so the
+// workload generator and tests never hand-compute PCs. Forward references
+// are patched when the label is bound.
+type Builder struct {
+	name     string
+	code     []Instruction
+	funcs    []Function
+	labels   map[string]uint32
+	fixups   map[string][]int // label -> instruction indices awaiting patch
+	openFn   int              // index into funcs of the open function, or -1
+	errs     []error
+	entrySet bool
+	entry    string
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]uint32),
+		fixups: make(map[string][]int),
+		openFn: -1,
+	}
+}
+
+// PC returns the PC the next emitted instruction will occupy.
+func (b *Builder) PC() uint32 { return uint32(len(b.code)) }
+
+// Label binds name to the current PC and patches forward references.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	pc := b.PC()
+	b.labels[name] = pc
+	for _, idx := range b.fixups[name] {
+		b.code[idx].Target = pc
+	}
+	delete(b.fixups, name)
+}
+
+// Func opens a function: binds a label and records metadata. The function
+// extends until the next Func call or Build.
+func (b *Builder) Func(name string) {
+	b.closeFunc()
+	b.Label(name)
+	b.funcs = append(b.funcs, Function{Name: name, Entry: b.PC()})
+	b.openFn = len(b.funcs) - 1
+}
+
+func (b *Builder) closeFunc() {
+	if b.openFn >= 0 {
+		b.funcs[b.openFn].End = b.PC()
+		b.openFn = -1
+	}
+}
+
+// SetEntry selects the label execution starts at (default: PC 0).
+func (b *Builder) SetEntry(label string) {
+	b.entrySet = true
+	b.entry = label
+}
+
+func (b *Builder) emit(ins Instruction) {
+	b.code = append(b.code, ins)
+}
+
+func (b *Builder) emitTo(ins Instruction, label string) {
+	if pc, ok := b.labels[label]; ok {
+		ins.Target = pc
+	} else {
+		b.fixups[label] = append(b.fixups[label], len(b.code))
+	}
+	b.emit(ins)
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Instruction{Op: OpNop}) }
+
+// Op3 emits a three-register ALU/FP operation.
+func (b *Builder) Op3(op Op, dst, src1, src2 Reg) {
+	b.emit(Instruction{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Addi emits dst = src + imm.
+func (b *Builder) Addi(dst, src Reg, imm int64) {
+	b.emit(Instruction{Op: OpAddi, Dst: dst, Src1: src, Imm: imm})
+}
+
+// Li emits dst = imm.
+func (b *Builder) Li(dst Reg, imm int64) {
+	b.emit(Instruction{Op: OpLui, Dst: dst, Imm: imm})
+}
+
+// Load emits dst = mem[base+off].
+func (b *Builder) Load(dst, base Reg, off int64) {
+	b.emit(Instruction{Op: OpLoad, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits mem[base+off] = val.
+func (b *Builder) Store(val, base Reg, off int64) {
+	b.emit(Instruction{Op: OpStore, Src1: base, Src2: val, Imm: off})
+}
+
+// Branch emits a conditional branch to label.
+func (b *Builder) Branch(op Op, src1, src2 Reg, label string) {
+	if !op.IsBranch() {
+		b.errs = append(b.errs, fmt.Errorf("isa: %v is not a branch", op))
+		return
+	}
+	b.emitTo(Instruction{Op: op, Src1: src1, Src2: src2}, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) { b.emitTo(Instruction{Op: OpJmp}, label) }
+
+// Call emits a call to label.
+func (b *Builder) Call(label string) { b.emitTo(Instruction{Op: OpCall}, label) }
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.emit(Instruction{Op: OpRet}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() { b.emit(Instruction{Op: OpHalt}) }
+
+// Build finalises the program, validating labels and structure.
+func (b *Builder) Build() (*Program, error) {
+	b.closeFunc()
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for label, idxs := range b.fixups {
+		if len(idxs) > 0 {
+			return nil, fmt.Errorf("isa: undefined label %q", label)
+		}
+	}
+	p := &Program{Name: b.name, Code: b.code, Funcs: b.funcs}
+	if b.entrySet {
+		pc, ok := b.labels[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined entry label %q", b.entry)
+		}
+		p.Entry = pc
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// input is known-good by construction.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,30 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+)
+
+// Disassemble writes a human-readable listing of the program: function
+// headers, per-instruction addresses, and mnemonics.
+func Disassemble(w io.Writer, p *Program) error {
+	funcAt := make(map[uint32]*Function, len(p.Funcs))
+	for i := range p.Funcs {
+		funcAt[p.Funcs[i].Entry] = &p.Funcs[i]
+	}
+	for pc := range p.Code {
+		if f, ok := funcAt[uint32(pc)]; ok {
+			if _, err := fmt.Fprintf(w, "\n%s:\n", f.Name); err != nil {
+				return err
+			}
+		}
+		marker := " "
+		if uint32(pc) == p.Entry {
+			marker = ">"
+		}
+		if _, err := fmt.Fprintf(w, "%s %6d  %s\n", marker, pc, p.Code[pc].String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package isa defines the RISC-like instruction set used throughout the
+// repository: opcodes, functional-unit classes with the latencies of the
+// paper's machine model (HPCA'02 §4.1), the Instruction and Program
+// containers, and a disassembler.
+//
+// The ISA is deliberately small. The spawning analysis and the
+// trace-driven simulator only need (a) control flow — branches, calls,
+// returns — (b) register dataflow, (c) memory addresses, and (d) an
+// opcode→functional-unit mapping for timing. Any RISC ISA with those
+// properties is behaviourally equivalent for this study; see DESIGN.md §1.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural integer registers. Register 0 is
+// hardwired to zero, as in most RISC ISAs.
+const NumRegs = 32
+
+// Reg identifies an architectural register (0..NumRegs-1).
+type Reg uint8
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. Arithmetic ops read Src1 and Src2 and write Dst.
+// Immediate forms read Src1 and Imm. Loads read mem[Src1+Imm] into Dst;
+// stores write Src2 to mem[Src1+Imm]. Conditional branches compare Src1
+// against Src2 and jump to Target when the condition holds. Call pushes
+// the fall-through PC on the return stack and jumps to Target; Ret pops.
+const (
+	OpNop Op = iota
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSltu // set if Src1 < Src2 (unsigned)
+	OpAddi
+	OpLui // Dst = Imm (load immediate)
+	OpMul // integer multiply, 4-cycle latency
+	OpLoad
+	OpStore
+	OpBeq
+	OpBne
+	OpBltu // branch if Src1 < Src2 (unsigned)
+	OpBgeu
+	OpJmp
+	OpCall
+	OpRet
+	OpFAdd // simple FP, 4-cycle latency
+	OpFMul // FP multiply, 6-cycle latency
+	OpFDiv // FP divide, 17-cycle latency
+	OpHalt
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpSltu: "sltu",
+	OpAddi: "addi", OpLui: "lui", OpMul: "mul",
+	OpLoad: "load", OpStore: "store",
+	OpBeq: "beq", OpBne: "bne", OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret",
+	OpFAdd: "fadd", OpFMul: "fmul", OpFDiv: "fdiv", OpHalt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// FUClass identifies the functional-unit pool an opcode executes on.
+type FUClass uint8
+
+// Functional-unit classes with the counts and latencies of the paper's
+// thread unit: 2 simple integer (1 cycle), 2 load/store (1 cycle address
+// calculation + cache access), 1 integer multiply (4), 2 simple FP (4),
+// 1 FP multiply (6), 1 FP divide (17).
+const (
+	FUIntALU FUClass = iota
+	FUIntMul
+	FULoadStore
+	FUFPAdd
+	FUFPMul
+	FUFPDiv
+	FUNone // control-only ops that consume no execution unit
+	NumFUClasses
+)
+
+var fuNames = [NumFUClasses]string{
+	FUIntALU: "int-alu", FUIntMul: "int-mul", FULoadStore: "load-store",
+	FUFPAdd: "fp-add", FUFPMul: "fp-mul", FUFPDiv: "fp-div", FUNone: "none",
+}
+
+// String returns the functional-unit class name.
+func (c FUClass) String() string {
+	if int(c) < len(fuNames) {
+		return fuNames[c]
+	}
+	return fmt.Sprintf("fu(%d)", uint8(c))
+}
+
+// FU returns the functional-unit class an opcode executes on.
+func (o Op) FU() FUClass {
+	switch o {
+	case OpMul:
+		return FUIntMul
+	case OpLoad, OpStore:
+		return FULoadStore
+	case OpFAdd:
+		return FUFPAdd
+	case OpFMul:
+		return FUFPMul
+	case OpFDiv:
+		return FUFPDiv
+	case OpNop, OpHalt:
+		return FUNone
+	default:
+		return FUIntALU
+	}
+}
+
+// Latency returns the execution latency in cycles for the opcode.
+// Loads report the address-calculation cycle only; the cache model adds
+// the access latency. Branches, jumps, calls, and returns resolve on the
+// integer ALU in one cycle.
+func (o Op) Latency() int {
+	switch o {
+	case OpMul, OpFAdd:
+		return 4
+	case OpFMul:
+		return 6
+	case OpFDiv:
+		return 17
+	case OpNop, OpHalt:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether the opcode can redirect the PC.
+func (o Op) IsControl() bool {
+	switch o {
+	case OpBeq, OpBne, OpBltu, OpBgeu, OpJmp, OpCall, OpRet, OpHalt:
+		return true
+	}
+	return false
+}
+
+// WritesReg reports whether the opcode writes its Dst register.
+func (o Op) WritesReg() bool {
+	switch o {
+	case OpNop, OpStore, OpBeq, OpBne, OpBltu, OpBgeu, OpJmp, OpCall, OpRet, OpHalt:
+		return false
+	}
+	return true
+}
+
+// Instruction is one static instruction. PCs are instruction indices into
+// the Program's Code slice (word addressing), not byte addresses.
+type Instruction struct {
+	Op     Op
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    int64
+	Target uint32 // branch/jump/call target PC
+}
+
+// Reads returns the registers the instruction reads (r0 excluded since it
+// is constant). The second return value is the number of valid entries.
+func (ins *Instruction) Reads() (regs [2]Reg, n int) {
+	add := func(r Reg) {
+		if r != 0 {
+			regs[n] = r
+			n++
+		}
+	}
+	switch ins.Op {
+	case OpNop, OpHalt, OpJmp, OpCall, OpRet, OpLui:
+		return
+	case OpAddi, OpLoad:
+		add(ins.Src1)
+	case OpStore:
+		add(ins.Src1)
+		add(ins.Src2)
+	default:
+		add(ins.Src1)
+		add(ins.Src2)
+	}
+	return
+}
+
+// String disassembles the instruction.
+func (ins Instruction) String() string {
+	switch ins.Op {
+	case OpNop, OpHalt, OpRet:
+		return ins.Op.String()
+	case OpLui:
+		return fmt.Sprintf("%s r%d, %d", ins.Op, ins.Dst, ins.Imm)
+	case OpAddi:
+		return fmt.Sprintf("%s r%d, r%d, %d", ins.Op, ins.Dst, ins.Src1, ins.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%s r%d, %d(r%d)", ins.Op, ins.Dst, ins.Imm, ins.Src1)
+	case OpStore:
+		return fmt.Sprintf("%s r%d, %d(r%d)", ins.Op, ins.Src2, ins.Imm, ins.Src1)
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s r%d, r%d, @%d", ins.Op, ins.Src1, ins.Src2, ins.Target)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s @%d", ins.Op, ins.Target)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", ins.Op, ins.Dst, ins.Src1, ins.Src2)
+	}
+}
+
+// Function records a named code region (used for subroutine-continuation
+// heuristics and diagnostics).
+type Function struct {
+	Name  string
+	Entry uint32 // PC of the first instruction
+	End   uint32 // PC one past the last instruction
+}
+
+// Program is a complete executable: straight-line code plus function
+// metadata and the entry point.
+type Program struct {
+	Name  string
+	Code  []Instruction
+	Funcs []Function
+	Entry uint32
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// FuncAt returns the function containing pc, or nil.
+func (p *Program) FuncAt(pc uint32) *Function {
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if pc >= f.Entry && pc < f.End {
+			return f
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants: targets in range, entry valid,
+// registers in range, and that the program contains a halt. It returns a
+// descriptive error for the first violation found.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("isa: program %q has no code", p.Name)
+	}
+	if int(p.Entry) >= len(p.Code) {
+		return fmt.Errorf("isa: program %q entry %d out of range", p.Name, p.Entry)
+	}
+	hasHalt := false
+	for pc, ins := range p.Code {
+		if ins.Op >= numOps {
+			return fmt.Errorf("isa: pc %d: invalid opcode %d", pc, ins.Op)
+		}
+		if ins.Op == OpHalt {
+			hasHalt = true
+		}
+		if ins.Op.IsControl() && ins.Op != OpRet && ins.Op != OpHalt {
+			if int(ins.Target) >= len(p.Code) {
+				return fmt.Errorf("isa: pc %d: target %d out of range", pc, ins.Target)
+			}
+		}
+		if ins.Dst >= NumRegs || ins.Src1 >= NumRegs || ins.Src2 >= NumRegs {
+			return fmt.Errorf("isa: pc %d: register out of range", pc)
+		}
+		if ins.Op.WritesReg() && ins.Dst == 0 {
+			return fmt.Errorf("isa: pc %d: write to r0", pc)
+		}
+	}
+	if !hasHalt {
+		return fmt.Errorf("isa: program %q has no halt", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op      Op
+		fu      FUClass
+		lat     int
+		branch  bool
+		control bool
+		writes  bool
+	}{
+		{OpAdd, FUIntALU, 1, false, false, true},
+		{OpMul, FUIntMul, 4, false, false, true},
+		{OpLoad, FULoadStore, 1, false, false, true},
+		{OpStore, FULoadStore, 1, false, false, false},
+		{OpBeq, FUIntALU, 1, true, true, false},
+		{OpJmp, FUIntALU, 1, false, true, false},
+		{OpCall, FUIntALU, 1, false, true, false},
+		{OpRet, FUIntALU, 1, false, true, false},
+		{OpFAdd, FUFPAdd, 4, false, false, true},
+		{OpFMul, FUFPMul, 6, false, false, true},
+		{OpFDiv, FUFPDiv, 17, false, false, true},
+		{OpHalt, FUNone, 1, false, true, false},
+		{OpNop, FUNone, 1, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.FU() != c.fu {
+			t.Errorf("%v FU = %v, want %v", c.op, c.op.FU(), c.fu)
+		}
+		if c.op.Latency() != c.lat {
+			t.Errorf("%v latency = %d, want %d", c.op, c.op.Latency(), c.lat)
+		}
+		if c.op.IsBranch() != c.branch {
+			t.Errorf("%v IsBranch = %v", c.op, c.op.IsBranch())
+		}
+		if c.op.IsControl() != c.control {
+			t.Errorf("%v IsControl = %v", c.op, c.op.IsControl())
+		}
+		if c.op.WritesReg() != c.writes {
+			t.Errorf("%v WritesReg = %v", c.op, c.op.WritesReg())
+		}
+	}
+}
+
+func TestEveryOpHasNameAndFU(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if op.FU() >= NumFUClasses {
+			t.Errorf("op %v has invalid FU", op)
+		}
+		if op.Latency() <= 0 {
+			t.Errorf("op %v has non-positive latency", op)
+		}
+	}
+}
+
+func TestBranchesAreControl(t *testing.T) {
+	// Property: every branch is a control op and writes no register.
+	f := func(raw uint8) bool {
+		op := Op(raw % uint8(numOps))
+		if op.IsBranch() && (!op.IsControl() || op.WritesReg()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReads(t *testing.T) {
+	ins := Instruction{Op: OpAdd, Dst: 3, Src1: 1, Src2: 2}
+	regs, n := ins.Reads()
+	if n != 2 || regs[0] != 1 || regs[1] != 2 {
+		t.Errorf("add reads = %v/%d", regs, n)
+	}
+	ins = Instruction{Op: OpAdd, Dst: 3, Src1: 0, Src2: 2}
+	regs, n = ins.Reads()
+	if n != 1 || regs[0] != 2 {
+		t.Errorf("add with r0 reads = %v/%d", regs, n)
+	}
+	ins = Instruction{Op: OpLui, Dst: 3, Imm: 7}
+	if _, n := ins.Reads(); n != 0 {
+		t.Errorf("lui reads %d regs", n)
+	}
+	ins = Instruction{Op: OpStore, Src1: 4, Src2: 5}
+	regs, n = ins.Reads()
+	if n != 2 || regs[0] != 4 || regs[1] != 5 {
+		t.Errorf("store reads = %v/%d", regs, n)
+	}
+	ins = Instruction{Op: OpLoad, Dst: 3, Src1: 4}
+	regs, n = ins.Reads()
+	if n != 1 || regs[0] != 4 {
+		t.Errorf("load reads = %v/%d", regs, n)
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main")
+	b.Li(1, 5)
+	b.Label("top")
+	b.Addi(1, 1, -1)
+	b.Branch(OpBne, 1, 0, "top")
+	b.Call("f")
+	b.Halt()
+	b.Func("f")
+	b.Nop()
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 7 {
+		t.Errorf("len = %d, want 7", p.Len())
+	}
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	if p.Funcs[0].Name != "main" || p.Funcs[0].Entry != 0 || p.Funcs[0].End != 5 {
+		t.Errorf("main func meta = %+v", p.Funcs[0])
+	}
+	if p.Funcs[1].Entry != 5 || p.Funcs[1].End != 7 {
+		t.Errorf("f func meta = %+v", p.Funcs[1])
+	}
+	if f := p.FuncAt(6); f == nil || f.Name != "f" {
+		t.Errorf("FuncAt(6) = %v", f)
+	}
+	// Branch target patched to "top" = pc 1.
+	if p.Code[2].Target != 1 {
+		t.Errorf("branch target = %d", p.Code[2].Target)
+	}
+	// Call target patched forward to f = pc 5.
+	if p.Code[3].Target != 5 {
+		t.Errorf("call target = %d", p.Code[3].Target)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("missing")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("expected undefined-label error")
+	}
+
+	b = NewBuilder("t")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("expected duplicate-label error")
+	}
+
+	b = NewBuilder("t")
+	b.Branch(OpAdd, 1, 2, "x")
+	if _, err := b.Build(); err == nil {
+		t.Error("expected non-branch error")
+	}
+
+	b = NewBuilder("t")
+	b.Halt()
+	b.SetEntry("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Error("expected undefined-entry error")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Program{
+		{Name: "empty"},
+		{Name: "noentry", Code: []Instruction{{Op: OpHalt}}, Entry: 5},
+		{Name: "nohalt", Code: []Instruction{{Op: OpNop}}},
+		{Name: "badtarget", Code: []Instruction{{Op: OpJmp, Target: 9}, {Op: OpHalt}}},
+		{Name: "r0write", Code: []Instruction{{Op: OpAdd, Dst: 0}, {Op: OpHalt}}},
+	}
+	for i := range cases {
+		if err := cases[i].Validate(); err == nil {
+			t.Errorf("%s: expected validation error", cases[i].Name)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := map[string]Instruction{
+		"add r3, r1, r2":  {Op: OpAdd, Dst: 3, Src1: 1, Src2: 2},
+		"addi r3, r1, 4":  {Op: OpAddi, Dst: 3, Src1: 1, Imm: 4},
+		"lui r2, 9":       {Op: OpLui, Dst: 2, Imm: 9},
+		"load r2, 8(r1)":  {Op: OpLoad, Dst: 2, Src1: 1, Imm: 8},
+		"store r2, 8(r1)": {Op: OpStore, Src1: 1, Src2: 2, Imm: 8},
+		"beq r1, r2, @7":  {Op: OpBeq, Src1: 1, Src2: 2, Target: 7},
+		"jmp @3":          {Op: OpJmp, Target: 3},
+		"call @3":         {Op: OpCall, Target: 3},
+		"ret":             {Op: OpRet},
+		"halt":            {Op: OpHalt},
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package linalg provides the small dense linear-algebra kernel the
+// reaching-probability engine needs: row-major matrices, LU factorisation
+// with partial pivoting, solves, and inversion. It is deliberately
+// minimal — no BLAS ambitions — but the inner loops are written to be
+// cache-friendly because the engine factorises one matrix per CFG node.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorisation meets an (effectively)
+// singular pivot.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a shared slice.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = m·x.
+func (m *Matrix) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec dims %dx%d × %d -> %d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Mul computes C = A·B.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// LU is a compact LU factorisation with partial pivoting: PA = LU.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign float64
+}
+
+// Factor computes the LU factorisation of a square matrix. The input is
+// not modified.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Factor needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Pivot selection.
+		p, max := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				p, max = i, v
+			}
+		}
+		if max < 1e-14 {
+			return nil, fmt.Errorf("%w: pivot %d ~ %g", ErrSingular, k, max)
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		// Elimination.
+		pivot := lu.At(k, k)
+		rowk := lu.Row(k)
+		for i := k + 1; i < n; i++ {
+			rowi := lu.Row(i)
+			f := rowi[k] / pivot
+			rowi[k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				rowi[j] -= f * rowk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A·x = b into x (x and b may alias).
+func (f *LU) Solve(b, x []float64) {
+	n := f.lu.Rows
+	if len(b) != n || len(x) != n {
+		panic("linalg: Solve dimension mismatch")
+	}
+	// Apply permutation.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := tmp[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := tmp[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s / row[i]
+	}
+	copy(x, tmp)
+}
+
+// Inverse computes A⁻¹ column by column.
+func (f *LU) Inverse() *Matrix {
+	n := f.lu.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		f.Solve(e, x)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, x[i])
+		}
+	}
+	return inv
+}
+
+// Det returns the determinant from the factorisation.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Invert is a convenience wrapper: Factor + Inverse.
+func Invert(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse(), nil
+}

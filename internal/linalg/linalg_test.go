@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve([]float64{5, 10}, x)
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestFactorRequiresSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected non-square error")
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 2)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), 2, 1e-12) {
+		t.Errorf("det = %v, want 2", f.Det())
+	}
+}
+
+func TestIdentityAndMul(t *testing.T) {
+	id := Identity(3)
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, float64(i*3+j+1))
+		}
+	}
+	p := Mul(a, id)
+	for i := range a.Data {
+		if p.Data[i] != a.Data[i] {
+			t.Fatalf("A·I != A at %d", i)
+		}
+	}
+	p = Mul(id, a)
+	for i := range a.Data {
+		if p.Data[i] != a.Data[i] {
+			t.Fatalf("I·A != A at %d", i)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 2)
+	a.MulVec([]float64{1, 1, 1}, y)
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+// randomDiagDominant builds a well-conditioned matrix from fuzz input.
+func randomDiagDominant(n int, vals []float64) *Matrix {
+	a := NewMatrix(n, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := math.Mod(math.Abs(vals[k%len(vals)]), 1.0)
+			k++
+			a.Set(i, j, v)
+			sum += v
+		}
+		a.Set(i, i, sum+1)
+	}
+	return a
+}
+
+func TestInverseProperty(t *testing.T) {
+	f := func(raw []float64, nRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		n := int(nRaw%6) + 2
+		a := randomDiagDominant(n, raw)
+		inv, err := Invert(a)
+		if err != nil {
+			return false
+		}
+		prod := Mul(a, inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(prod.At(i, j), want, 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveMatchesMulVecProperty(t *testing.T) {
+	f := func(raw []float64, nRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		n := int(nRaw%5) + 2
+		a := randomDiagDominant(n, raw)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Mod(raw[i%len(raw)], 10)
+		}
+		b := make([]float64, n)
+		a.MulVec(x, b)
+		fac, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		got := make([]float64, n)
+		fac.Solve(b, got)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Identity(2)
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,94 @@
+package reach
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/linalg"
+	"repro/internal/trace"
+)
+
+// Visit is one dynamic entry into a retained CFG node.
+type Visit struct {
+	Node int     // node index in the graph
+	Cum  float64 // dynamic instructions executed before this visit
+}
+
+// VisitsFromTrace projects a dynamic trace onto the retained nodes of g:
+// every execution of a retained block leader becomes a visit, annotated
+// with the cumulative instruction count. Pruned blocks simply contribute
+// instructions between visits, matching the splice semantics.
+func VisitsFromTrace(tr *trace.Trace, g *cfg.Graph) []Visit {
+	visits := make([]Visit, 0, len(tr.Events)/8)
+	for i := range tr.Events {
+		if node, ok := g.ByPC[tr.Events[i].PC]; ok {
+			visits = append(visits, Visit{Node: node, Cum: float64(i)})
+		}
+	}
+	return visits
+}
+
+// Empirical measures reaching probabilities and distances directly from
+// a visit sequence: for each occurrence of source i, the pair (i,j)
+// succeeds if j is visited again before i is, and the distance is the
+// instruction count between the two visits. It is the measurement the
+// matrix engine should agree with when the underlying process is
+// Markovian, and serves as its cross-validation oracle.
+func Empirical(g *cfg.Graph, visits []Visit) *Result {
+	n := len(g.Nodes)
+	res := &Result{G: g, Prob: linalg.NewMatrix(n, n), Dist: linalg.NewMatrix(n, n)}
+
+	// Per-node visit position lists (indices into visits).
+	occ := make([][]int32, n)
+	for idx, v := range visits {
+		occ[v.Node] = append(occ[v.Node], int32(idx))
+	}
+
+	for i := 0; i < n; i++ {
+		vi := occ[i]
+		if len(vi) == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			vj := occ[j]
+			if len(vj) == 0 {
+				continue
+			}
+			var hits, trials float64
+			var distSum float64
+			pj := 0
+			for k, t := range vi {
+				trials++
+				// Next visit of i after t.
+				nextI := int32(-1)
+				if i == j {
+					if k+1 < len(vi) {
+						nextI = vi[k+1]
+					}
+					if nextI >= 0 {
+						hits++
+						distSum += visits[nextI].Cum - visits[t].Cum
+					}
+					continue
+				}
+				if k+1 < len(vi) {
+					nextI = vi[k+1]
+				}
+				// Advance pj to the first visit of j after t.
+				for pj < len(vj) && vj[pj] <= t {
+					pj++
+				}
+				if pj == len(vj) {
+					continue // j never visited again
+				}
+				if nextI < 0 || vj[pj] < nextI {
+					hits++
+					distSum += visits[vj[pj]].Cum - visits[t].Cum
+				}
+			}
+			if trials > 0 && hits > 0 {
+				res.Prob.Set(i, j, hits/trials)
+				res.Dist.Set(i, j, distSum/hits)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,152 @@
+package reach
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfg"
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// randomFlowGraph builds a small substochastic chain from fuzz bytes.
+func randomFlowGraph(raw []uint16) *cfg.Graph {
+	n := 2 + int(raw[0]%6)
+	g := &cfg.Graph{ByPC: map[uint32]int{}, Coverage: 1}
+	for i := 0; i < n; i++ {
+		g.ByPC[uint32(i)] = i
+		g.Nodes = append(g.Nodes, cfg.Node{PC: uint32(i), Len: 1 + int(raw[(i+1)%len(raw)]%30), Count: 100})
+	}
+	g.Succ = make([][]cfg.Edge, n)
+	k := 1
+	next := func() int {
+		v := int(raw[k%len(raw)])
+		k++
+		return v
+	}
+	for i := 0; i < n; i++ {
+		deg := next() % 3 // 0..2 successors; 0 = absorbing
+		total := 0.0
+		var edges []cfg.Edge
+		for d := 0; d < deg; d++ {
+			w := float64(1 + next()%50)
+			edges = append(edges, cfg.Edge{To: next() % n, W: w})
+			total += w
+		}
+		// Scale so outflow ≤ count (possibly leaking).
+		scale := 100.0 / (total + float64(1+next()%40))
+		for e := range edges {
+			edges[e].W *= scale
+		}
+		g.Succ[i] = edges
+	}
+	return g
+}
+
+// TestComputeBoundsProperty: on random chains every probability is in
+// [0,1] and every positive-probability distance is at least the source
+// block's length.
+func TestComputeBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		g := randomFlowGraph(raw)
+		res, err := Compute(g)
+		if err != nil {
+			// Singular taboo chains can arise from degenerate random
+			// graphs; skip rather than fail.
+			return true
+		}
+		n := len(g.Nodes)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := res.Prob.At(i, j)
+				if p < 0 || p > 1 {
+					return false
+				}
+				d := res.Dist.At(i, j)
+				if p > 1e-9 && d < float64(g.Nodes[i].Len)-1e-6 {
+					return false
+				}
+				if p <= 1e-12 && d != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelfProbabilityIsReturnProbability: RP(i,i) can never exceed the
+// total outflow probability of i.
+func TestSelfProbabilityIsReturnProbability(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		g := randomFlowGraph(raw)
+		res, err := Compute(g)
+		if err != nil {
+			return true
+		}
+		for i := range g.Nodes {
+			out := g.OutWeight(i) / g.Nodes[i].Count
+			if out > 1 {
+				out = 1
+			}
+			if res.Prob.At(i, i) > out+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatrixVsEmpiricalOnBenchmark cross-validates the two engines on a
+// real benchmark for the confident pairs the selection relies on.
+func TestMatrixVsEmpiricalOnBenchmark(t *testing.T) {
+	prog := workload.MustGenerate("m88ksim", workload.SizeTest)
+	runRes, err := emu.Run(prog, emu.Config{CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(runRes.Profile).Prune(0.9, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := Empirical(g, VisitsFromTrace(runRes.Trace, g))
+	n := len(g.Nodes)
+	var checked, agree int
+	for i := 0; i < n; i++ {
+		if g.Nodes[i].Count < 100 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			mp := mat.Prob.At(i, j)
+			if mp < 0.95 {
+				continue
+			}
+			checked++
+			if emp.Prob.At(i, j) > 0.85 {
+				agree++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no confident pairs to check")
+	}
+	if float64(agree) < 0.85*float64(checked) {
+		t.Errorf("only %d/%d high-probability pairs confirmed empirically", agree, checked)
+	}
+}

@@ -1,0 +1,237 @@
+// Package reach computes the paper's reaching-probability and expected-
+// distance matrices over the pruned dynamic CFG (HPCA'02 §3.1).
+//
+// RP(i,j) is the probability that, after executing block i, block j is
+// executed before i is executed again — the paper's constraint that the
+// source and destination appear only as the first and last nodes of each
+// control-flow sequence, with every other block free to repeat. D(i,j)
+// is the expected number of instructions executed from the first
+// instruction of i (inclusive) to the first instruction of j
+// (exclusive), conditioned on reaching j.
+//
+// The computation is exact over the graph's Markov chain. For each
+// source i the chain with transitions into i removed (taboo) has
+// fundamental matrix N = (I-Q_i)⁻¹, and:
+//
+//	F(u,j) = N(u,j)/N(j,j)              first-passage u→j avoiding i
+//	RP(i,j) = Σ_v P(i→v)·F(v,j)
+//
+// Conditional distances come from the same factorisation via a
+// Sherman–Morrison reduction: with M = N·diag(len)·N,
+//
+//	g_j = M(:,j)/N(j,j) − N(:,j)·len(j) − N(:,j)·β_j
+//
+// accumulates the expected block lengths of intermediate nodes on
+// successful paths, and D(i,j) = len(i) + Σ_v P(i→v)g_j(v) / RP(i,j).
+// First-return pairs (i == j, the loop-iteration shape) use the hitting
+// vector h = N·P(:,i) on the same factorisation.
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/linalg"
+)
+
+// Result holds the dense pairwise matrices over graph nodes.
+type Result struct {
+	G *cfg.Graph
+	// Prob[i][j] is RP(i,j) in [0,1].
+	Prob *linalg.Matrix
+	// Dist[i][j] is D(i,j) in instructions (0 where Prob is 0).
+	Dist *linalg.Matrix
+}
+
+// damping is applied on a retry if a taboo chain is numerically
+// singular (a closed recurrent class with no leak, which cannot arise
+// from a terminating profile except through float round-off).
+const damping = 1e-9
+
+// Compute evaluates the exact reaching-probability and distance
+// matrices for every ordered node pair of g.
+func Compute(g *cfg.Graph) (*Result, error) {
+	n := len(g.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("reach: empty graph")
+	}
+	// Row-normalised transition probabilities. Rows are normalised by
+	// the node execution count, so flow that leaves the pruned graph
+	// (program exit or fully cold paths) appears as absorption.
+	P := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cnt := g.Nodes[i].Count
+		if cnt <= 0 {
+			continue
+		}
+		row := P.Row(i)
+		for _, e := range g.Succ[i] {
+			row[e.To] += e.W / cnt
+		}
+		// Guard against round-off pushing a row above 1.
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if sum > 1 {
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+	}
+
+	lens := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lens[i] = float64(g.Nodes[i].Len)
+	}
+
+	res := &Result{G: g, Prob: linalg.NewMatrix(n, n), Dist: linalg.NewMatrix(n, n)}
+	x := make([]float64, n)
+	gv := make([]float64, n)
+	h := make([]float64, n)
+	gcirc := make([]float64, n)
+
+	for i := 0; i < n; i++ {
+		N, err := tabooFundamental(P, i, 1)
+		if err != nil {
+			if N, err = tabooFundamental(P, i, 1-damping); err != nil {
+				return nil, fmt.Errorf("reach: source %d: %w", i, err)
+			}
+		}
+		// M = N·diag(len)·N.
+		ND := N.Clone()
+		for r := 0; r < n; r++ {
+			row := ND.Row(r)
+			for c := 0; c < n; c++ {
+				row[c] *= lens[c]
+			}
+		}
+		M := linalg.Mul(ND, N)
+
+		srcRow := P.Row(i)
+
+		// j == i: first-return probability and distance.
+		// h(v) = Pr_v(hit i before leaking) = (N·a)(v), a = P(:,i).
+		for v := 0; v < n; v++ {
+			s := 0.0
+			Nrow := N.Row(v)
+			for u := 0; u < n; u++ {
+				if u == i {
+					continue
+				}
+				s += Nrow[u] * P.At(u, i)
+			}
+			h[v] = s
+		}
+		// g°(v) = (N·(len ⊙ h))(v).
+		for v := 0; v < n; v++ {
+			s := 0.0
+			Nrow := N.Row(v)
+			for u := 0; u < n; u++ {
+				if u == i {
+					continue
+				}
+				s += Nrow[u] * lens[u] * h[u]
+			}
+			gcirc[v] = s
+		}
+		rpII := srcRow[i] // immediate self-loop: success, no intermediates
+		numII := 0.0
+		for v := 0; v < n; v++ {
+			if v == i || srcRow[v] == 0 {
+				continue
+			}
+			rpII += srcRow[v] * h[v]
+			numII += srcRow[v] * gcirc[v]
+		}
+		res.Prob.Set(i, i, clamp01(rpII))
+		if rpII > 0 {
+			res.Dist.Set(i, i, lens[i]+numII/rpII)
+		}
+
+		// j != i.
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			njj := N.At(j, j)
+			if njj <= 0 {
+				continue
+			}
+			// x = M(:,j)/njj − N(:,j)·len(j)
+			for v := 0; v < n; v++ {
+				x[v] = M.At(v, j)/njj - N.At(v, j)*lens[j]
+			}
+			// β = (q_jᵀ·x)/njj, q_j = row j of taboo chain (col i zeroed).
+			beta := 0.0
+			Pj := P.Row(j)
+			for v := 0; v < n; v++ {
+				if v == i {
+					continue
+				}
+				beta += Pj[v] * x[v]
+			}
+			beta /= njj
+			for v := 0; v < n; v++ {
+				gv[v] = x[v] - N.At(v, j)*beta
+			}
+			gv[j] = 0
+
+			rp := 0.0
+			num := 0.0
+			for v := 0; v < n; v++ {
+				pv := srcRow[v]
+				if pv == 0 || v == i {
+					continue
+				}
+				if v == j {
+					rp += pv // direct hit, no intermediates
+				} else {
+					rp += pv * (N.At(v, j) / njj)
+					num += pv * gv[v]
+				}
+			}
+			res.Prob.Set(i, j, clamp01(rp))
+			if rp > 1e-12 {
+				d := lens[i] + num/rp
+				if d < lens[i] {
+					d = lens[i]
+				}
+				res.Dist.Set(i, j, d)
+			}
+		}
+	}
+	return res, nil
+}
+
+// tabooFundamental computes N = (I − s·Q_i)⁻¹ where Q_i is P with row i
+// and column i zeroed.
+func tabooFundamental(P *linalg.Matrix, i int, s float64) (*linalg.Matrix, error) {
+	n := P.Rows
+	A := linalg.NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		Arow := A.Row(r)
+		Arow[r] = 1
+		if r == i {
+			continue
+		}
+		Prow := P.Row(r)
+		for c := 0; c < n; c++ {
+			if c == i {
+				continue
+			}
+			Arow[c] -= s * Prow[c]
+		}
+	}
+	return linalg.Invert(A)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Figure X: sample",
+		Note:    "a note",
+		Columns: []string{"benchmark", "speed-up"},
+	}
+	t.AddRow("ijpeg", "6.83")
+	t.AddRow("compress, special", `has "quotes"`)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X: sample", "benchmark", "ijpeg", "6.83", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: the second column starts at the same offset in
+	// the header and data lines.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "benchmark") {
+			header = l
+			row = lines[i+2]
+			break
+		}
+	}
+	if strings.Index(header, "speed-up") < 0 || len(row) == 0 {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestRenderCSVEscapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"compress, special"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"has ""quotes"""`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "benchmark,speed-up") {
+		t.Errorf("missing header:\n%s", out)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3.14159: "3.14",
+		42.5:    "42.5",
+		12345:   "12345",
+	}
+	for v, want := range cases {
+		if got := Fmt(v); got != want {
+			t.Errorf("Fmt(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if FmtInt(7) != "7" {
+		t.Error("FmtInt wrong")
+	}
+	if FmtPct(0.125) != "12.5%" {
+		t.Error("FmtPct wrong")
+	}
+}
+
+func TestRenderEmptyTable(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides the aggregate statistics the paper reports:
+// harmonic means for speed-ups, arithmetic means for counts, ratios,
+// and simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HarmonicMean returns the harmonic mean of positive values (the
+// paper's aggregate for speed-ups). It returns 0 for an empty input and
+// an error-free NaN-safe result otherwise.
+func HarmonicMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 || math.IsNaN(v) {
+			return 0
+		}
+		sum += 1 / v
+	}
+	return float64(len(vals)) / sum
+}
+
+// ArithmeticMean returns the mean (0 for empty input).
+func ArithmeticMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// GeometricMean returns the geometric mean of positive values.
+func GeometricMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Speedup returns base/new, guarding against zero.
+func Speedup(baseCycles, newCycles int64) float64 {
+	if newCycles <= 0 {
+		return 0
+	}
+	return float64(baseCycles) / float64(newCycles)
+}
+
+// Ratio returns a/b, guarding against zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Percentiles returns the requested percentiles (0..100) of the values.
+func Percentiles(vals []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(vals) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		if p <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if p >= 100 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		idx := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		frac := idx - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return out
+}
+
+// Histogram counts values into fixed-width buckets starting at lo.
+type Histogram struct {
+	Lo, Width float64
+	Counts    []int
+	Total     int
+}
+
+// NewHistogram returns a histogram with n buckets of the given width.
+func NewHistogram(lo, width float64, n int) *Histogram {
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int, n)}
+}
+
+// Add records a value (clamping to the outer buckets).
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.Lo) / h.Width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// String renders bucket fractions.
+func (h *Histogram) String() string {
+	s := ""
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.Lo + float64(i)*h.Width
+		s += fmt.Sprintf("[%g,%g): %.1f%%  ", lo, lo+h.Width, 100*float64(c)/float64(h.Total))
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{2, 2, 2}); got != 2 {
+		t.Errorf("hmean(2,2,2) = %v", got)
+	}
+	// Classic: hmean(1,2) = 4/3.
+	if got := HarmonicMean([]float64{1, 2}); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("hmean(1,2) = %v", got)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Error("hmean(nil) != 0")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Error("hmean with zero must guard")
+	}
+	if HarmonicMean([]float64{1, -2}) != 0 {
+		t.Error("hmean with negative must guard")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if ArithmeticMean([]float64{1, 2, 3}) != 2 {
+		t.Error("amean wrong")
+	}
+	if ArithmeticMean(nil) != 0 {
+		t.Error("amean(nil) != 0")
+	}
+	if got := GeometricMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("gmean(2,8) = %v", got)
+	}
+	if GeometricMean([]float64{2, 0}) != 0 {
+		t.Error("gmean with zero must guard")
+	}
+	if GeometricMean(nil) != 0 {
+		t.Error("gmean(nil) != 0")
+	}
+}
+
+// TestMeanInequality: hmean <= gmean <= amean for positive values.
+func TestMeanInequality(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		for _, v := range raw {
+			vals = append(vals, float64(v%1000)+1)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		h, g, a := HarmonicMean(vals), GeometricMean(vals), ArithmeticMean(vals)
+		return h <= g+1e-9 && g <= a+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupAndRatio(t *testing.T) {
+	if Speedup(100, 50) != 2 {
+		t.Error("speedup wrong")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Error("speedup zero guard")
+	}
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("ratio wrong")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	ps := Percentiles(vals, 0, 50, 100)
+	if ps[0] != 1 || ps[1] != 3 || ps[2] != 5 {
+		t.Errorf("percentiles = %v", ps)
+	}
+	if got := Percentiles(nil, 50); got[0] != 0 {
+		t.Error("empty percentile != 0")
+	}
+	// Interpolation: p25 of [0,10] is 2.5.
+	if got := Percentiles([]float64{0, 10}, 25); math.Abs(got[0]-2.5) > 1e-12 {
+		t.Errorf("p25 = %v", got[0])
+	}
+	// Clamping.
+	if got := Percentiles(vals, -5, 200); got[0] != 1 || got[1] != 5 {
+		t.Errorf("clamped = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-5, 3, 15, 99, 1000} {
+		h.Add(v)
+	}
+	if h.Total != 5 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // -5 clamps into [0,10), 3 lands there
+		t.Errorf("bucket 0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 99 and 1000 clamp to the last bucket
+		t.Errorf("bucket 4 = %d", h.Counts[4])
+	}
+	if h.String() == "" {
+		t.Error("histogram render empty")
+	}
+}

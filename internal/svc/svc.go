@@ -1,0 +1,181 @@
+// Package svc is a behavioural model of the Speculative Versioning
+// Cache [Gopal et al., HPCA'98] as the paper's Clustered Speculative
+// Multithreaded Processor uses it (HPCA'02 §4.1): it tracks the memory
+// versions created by in-flight speculative threads, services loads from
+// the nearest earlier version (with a configurable inter-thread-unit
+// forwarding latency), detects memory dependence violations — a load
+// that executed before an earlier thread's store to the same address —
+// and discards a thread's versions on commit or squash.
+//
+// Threads are identified by their program order key (the trace position
+// at which the thread starts), which is unique and stable across
+// restarts. Values never appear here — the trace supplies them; the SVC
+// provides timing and violation detection.
+package svc
+
+import "sort"
+
+// Violation reports a load that consumed a stale version.
+type Violation struct {
+	Order   int // program-order key of the violating (consumer) thread
+	LoadPos int // trace position of the stale load
+}
+
+type storeRec struct {
+	order int
+	pos   int
+	ready int64
+	tu    int
+}
+
+type loadRec struct {
+	order  int
+	pos    int
+	srcPos int // position of the version consumed (-1 = architected)
+	tu     int
+}
+
+type word struct {
+	stores []storeRec // sorted by pos
+	loads  []loadRec
+}
+
+// Memory is the versioned-memory model shared by all thread units.
+type Memory struct {
+	fwdLat  int64
+	selfLat int64
+	words   map[uint64]*word
+	touched map[int]map[uint64]bool // order -> addresses with records
+	// Stats
+	Forwards, Violations uint64
+}
+
+// New returns an empty versioned memory with the given inter-TU
+// forwarding latency in cycles (the paper uses 3).
+func New(fwdLat int64) *Memory {
+	if fwdLat <= 0 {
+		fwdLat = 3
+	}
+	return &Memory{
+		fwdLat:  fwdLat,
+		selfLat: 1,
+		words:   make(map[uint64]*word),
+		touched: make(map[int]map[uint64]bool),
+	}
+}
+
+func (m *Memory) wordAt(addr uint64) *word {
+	w, ok := m.words[addr]
+	if !ok {
+		w = &word{}
+		m.words[addr] = w
+	}
+	return w
+}
+
+func (m *Memory) touch(order int, addr uint64) {
+	t, ok := m.touched[order]
+	if !ok {
+		t = make(map[uint64]bool)
+		m.touched[order] = t
+	}
+	t[addr] = true
+}
+
+// Load services a load by the thread with the given program-order key
+// executing on thread unit tu, at trace position pos, whose address is
+// ready at cycle addrReady. It returns the cycle at which the data is
+// available from an in-flight version, or ok=false when no in-flight
+// version precedes the load (the caller then uses its local cache), and
+// records the load for violation detection.
+func (m *Memory) Load(order, tu int, addr uint64, pos int, addrReady int64) (ready int64, srcPos int, ok bool) {
+	w := m.wordAt(addr)
+	srcPos = -1
+	var src *storeRec
+	// Latest store strictly before the load in program order.
+	i := sort.Search(len(w.stores), func(i int) bool { return w.stores[i].pos >= pos })
+	if i > 0 {
+		src = &w.stores[i-1]
+		srcPos = src.pos
+	}
+	w.loads = append(w.loads, loadRec{order: order, pos: pos, srcPos: srcPos, tu: tu})
+	m.touch(order, addr)
+	if src == nil {
+		return 0, -1, false
+	}
+	lat := m.selfLat
+	if src.tu != tu {
+		lat = m.fwdLat
+		m.Forwards++
+	}
+	ready = src.ready + lat
+	if addrReady > ready {
+		ready = addrReady
+	}
+	return ready, srcPos, true
+}
+
+// Store records a version created by a thread's store and returns the
+// set of threads whose already-performed loads are now known to have
+// consumed a stale version (loads after the store in program order that
+// read a version older than this store).
+func (m *Memory) Store(order, tu int, addr uint64, pos int, ready int64) []Violation {
+	w := m.wordAt(addr)
+	i := sort.Search(len(w.stores), func(i int) bool { return w.stores[i].pos >= pos })
+	w.stores = append(w.stores, storeRec{})
+	copy(w.stores[i+1:], w.stores[i:])
+	w.stores[i] = storeRec{order: order, pos: pos, ready: ready, tu: tu}
+	m.touch(order, addr)
+
+	var out []Violation
+	seen := map[int]bool{}
+	for _, l := range w.loads {
+		if l.pos > pos && l.srcPos < pos && l.order != order && !seen[l.order] {
+			seen[l.order] = true
+			out = append(out, Violation{Order: l.order, LoadPos: l.pos})
+		}
+	}
+	if len(out) > 0 {
+		m.Violations += uint64(len(out))
+		sort.Slice(out, func(a, b int) bool { return out[a].Order < out[b].Order })
+	}
+	return out
+}
+
+// Release discards every record of the given thread — used both when a
+// thread commits (its stores become architected state, visible through
+// the regular caches) and when it is squashed.
+func (m *Memory) Release(order int) {
+	addrs := m.touched[order]
+	if addrs == nil {
+		return
+	}
+	delete(m.touched, order)
+	for addr := range addrs {
+		w := m.words[addr]
+		if w == nil {
+			continue
+		}
+		stores := w.stores[:0]
+		for _, s := range w.stores {
+			if s.order != order {
+				stores = append(stores, s)
+			}
+		}
+		w.stores = stores
+		loads := w.loads[:0]
+		for _, l := range w.loads {
+			if l.order != order {
+				loads = append(loads, l)
+			}
+		}
+		w.loads = loads
+		if len(w.stores) == 0 && len(w.loads) == 0 {
+			delete(m.words, addr)
+		}
+	}
+}
+
+// ActiveRecords reports the number of addresses with live records (for
+// tests and leak checks).
+func (m *Memory) ActiveRecords() int { return len(m.words) }

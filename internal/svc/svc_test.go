@@ -1,0 +1,168 @@
+package svc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardingFromEarlierThread(t *testing.T) {
+	m := New(3)
+	// Thread 0 (TU 0) stores at pos 10, ready cycle 100.
+	if v := m.Store(0, 0, 0x100, 10, 100); v != nil {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Thread 1000 (TU 1) loads at pos 1005 with address ready at 50.
+	ready, srcPos, ok := m.Load(1000, 1, 0x100, 1005, 50)
+	if !ok || srcPos != 10 {
+		t.Fatalf("ok=%v srcPos=%d", ok, srcPos)
+	}
+	if ready != 103 {
+		t.Errorf("ready = %d, want 103 (store ready 100 + 3 fwd)", ready)
+	}
+	if m.Forwards != 1 {
+		t.Errorf("forwards = %d", m.Forwards)
+	}
+}
+
+func TestSameTUForwardingCheaper(t *testing.T) {
+	m := New(3)
+	m.Store(0, 2, 0x100, 10, 100)
+	ready, _, ok := m.Load(0, 2, 0x100, 12, 50)
+	if !ok || ready != 101 {
+		t.Errorf("same-TU forward ready = %d (ok=%v), want 101", ready, ok)
+	}
+}
+
+func TestAddrReadyDominates(t *testing.T) {
+	m := New(3)
+	m.Store(0, 0, 0x100, 10, 5)
+	ready, _, ok := m.Load(1000, 1, 0x100, 1005, 200)
+	if !ok || ready != 200 {
+		t.Errorf("ready = %d, want 200 (address ready later than data)", ready)
+	}
+}
+
+func TestNoVersionFallsToCache(t *testing.T) {
+	m := New(3)
+	_, srcPos, ok := m.Load(0, 0, 0x500, 5, 10)
+	if ok || srcPos != -1 {
+		t.Errorf("ok=%v srcPos=%d, want miss to cache", ok, srcPos)
+	}
+}
+
+func TestViolationDetected(t *testing.T) {
+	m := New(3)
+	// Consumer thread (order 1000) loads pos 1005 before the producer's
+	// store at pos 500 is known: it reads architected state.
+	m.Load(1000, 1, 0x200, 1005, 10)
+	viols := m.Store(0, 0, 0x200, 500, 50)
+	if len(viols) != 1 || viols[0].Order != 1000 || viols[0].LoadPos != 1005 {
+		t.Fatalf("violations = %+v", viols)
+	}
+	if m.Violations != 1 {
+		t.Errorf("violation count = %d", m.Violations)
+	}
+}
+
+func TestNoViolationWhenLoadSawTheStore(t *testing.T) {
+	m := New(3)
+	m.Store(0, 0, 0x200, 500, 50)
+	m.Load(1000, 1, 0x200, 1005, 10) // srcPos = 500
+	// A later, older store (pos 400) does not invalidate: the load's
+	// version (500) is newer.
+	if v := m.Store(0, 0, 0x200, 400, 60); v != nil {
+		t.Errorf("unexpected violation: %+v", v)
+	}
+}
+
+func TestNoViolationForEarlierLoads(t *testing.T) {
+	m := New(3)
+	m.Load(0, 0, 0x200, 100, 10) // load BEFORE the store in program order
+	if v := m.Store(1000, 1, 0x200, 500, 50); v != nil {
+		t.Errorf("later store must not violate earlier load: %+v", v)
+	}
+}
+
+func TestViolationDedupedPerThread(t *testing.T) {
+	m := New(3)
+	m.Load(1000, 1, 0x200, 1005, 10)
+	m.Load(1000, 1, 0x200, 1007, 11)
+	viols := m.Store(0, 0, 0x200, 500, 50)
+	if len(viols) != 1 {
+		t.Errorf("violations = %+v, want single entry per thread", viols)
+	}
+}
+
+func TestReleaseRemovesRecords(t *testing.T) {
+	m := New(3)
+	m.Store(0, 0, 0x100, 10, 100)
+	m.Load(1000, 1, 0x100, 1005, 10)
+	m.Release(0)
+	// The version is gone: load falls back to cache.
+	_, _, ok := m.Load(2000, 2, 0x100, 2005, 10)
+	if ok {
+		t.Error("released version still visible")
+	}
+	m.Release(1000)
+	m.Release(2000)
+	if m.ActiveRecords() != 0 {
+		t.Errorf("records leak: %d", m.ActiveRecords())
+	}
+}
+
+func TestSquashedConsumerReloadsCleanly(t *testing.T) {
+	m := New(3)
+	m.Load(1000, 1, 0x200, 1005, 10)
+	viols := m.Store(0, 0, 0x200, 500, 50)
+	if len(viols) != 1 {
+		t.Fatal("expected violation")
+	}
+	m.Release(1000) // consumer squashed
+	// Re-executed load now sees the version.
+	ready, srcPos, ok := m.Load(1000, 1, 0x200, 1005, 60)
+	if !ok || srcPos != 500 || ready != 60 {
+		t.Errorf("re-load: ready=%d srcPos=%d ok=%v", ready, srcPos, ok)
+	}
+	// And no stale violation remains against it.
+	if v := m.Store(0, 0, 0x200, 400, 70); v != nil {
+		t.Errorf("stale violation: %+v", v)
+	}
+}
+
+// TestViolationOracleProperty: on random interleavings of one producer
+// store and one consumer load to the same address, a violation is
+// reported iff the load executed before the store was recorded and the
+// store precedes the load in program order.
+func TestViolationOracleProperty(t *testing.T) {
+	f := func(loadFirst bool, storePos, loadDelta uint8) bool {
+		m := New(3)
+		sp := int(storePos)
+		lp := sp + 1 + int(loadDelta)
+		if loadFirst {
+			m.Load(lp, 1, 0x42, lp, 0)
+			viols := m.Store(0, 0, 0x42, sp, 10)
+			return len(viols) == 1 && viols[0].Order == lp
+		}
+		m.Store(0, 0, 0x42, sp, 10)
+		_, srcPos, ok := m.Load(lp, 1, 0x42, lp, 0)
+		return ok && srcPos == sp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultipleVersionsPickNearest(t *testing.T) {
+	m := New(3)
+	m.Store(0, 0, 0x300, 100, 10)
+	m.Store(2000, 2, 0x300, 2000, 30)
+	m.Store(1000, 1, 0x300, 1000, 20) // inserted out of order
+	_, srcPos, ok := m.Load(2500, 3, 0x300, 2500, 0)
+	if !ok || srcPos != 2000 {
+		t.Errorf("srcPos = %d, want 2000 (nearest earlier version)", srcPos)
+	}
+	_, srcPos, _ = m.Load(1500, 3, 0x300, 1500, 0)
+	if srcPos != 1000 {
+		t.Errorf("srcPos = %d, want 1000", srcPos)
+	}
+}

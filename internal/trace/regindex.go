@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// RegIndex answers "what is the architected value of register r just
+// before trace position q" queries, which the simulator uses to validate
+// predicted thread live-in values at join time (HPCA'02 §4.3.1).
+type RegIndex struct {
+	writes [isa.NumRegs]regWrites
+}
+
+type regWrites struct {
+	pos []int32
+	val []uint64
+}
+
+// NewRegIndex builds the per-register writer index in one pass.
+func NewRegIndex(t *Trace) *RegIndex {
+	idx := &RegIndex{}
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.Op.WritesReg() && e.Dst != 0 {
+			w := &idx.writes[e.Dst]
+			w.pos = append(w.pos, int32(i))
+			w.val = append(w.val, e.Val)
+		}
+	}
+	return idx
+}
+
+// ValueAt returns the architected value of register r immediately before
+// trace position q executes (i.e., the value written by the last writer
+// strictly before q, or zero if never written).
+func (idx *RegIndex) ValueAt(r isa.Reg, q int) uint64 {
+	if r == 0 {
+		return 0
+	}
+	w := &idx.writes[r]
+	i := sort.Search(len(w.pos), func(i int) bool { return int(w.pos[i]) >= q })
+	if i == 0 {
+		return 0
+	}
+	return w.val[i-1]
+}
+
+// LastWriteBefore returns the position of the last write to r strictly
+// before q, or -1 if there is none.
+func (idx *RegIndex) LastWriteBefore(r isa.Reg, q int) int {
+	if r == 0 {
+		return -1
+	}
+	w := &idx.writes[r]
+	i := sort.Search(len(w.pos), func(i int) bool { return int(w.pos[i]) >= q })
+	if i == 0 {
+		return -1
+	}
+	return int(w.pos[i-1])
+}

@@ -1,0 +1,70 @@
+package vpred
+
+import "repro/internal/isa"
+
+// Hybrid combines a stride and a context predictor with a per-entry
+// 2-bit chooser, in the spirit of the follow-up predictor study the
+// paper cites ([14]): stride captures induction live-ins, the FCM
+// captures repeating non-arithmetic sequences, and the chooser tracks
+// which component has been right for each (SP, CQIP, register) stream.
+// The byte budget is split between the two components (the chooser is
+// counted against the stride half).
+type Hybrid struct {
+	stride  *Stride
+	context *FCM
+	choose  []uint8 // 0..3; >=2 prefers context
+	mask    uint64
+}
+
+// NewHybrid returns a hybrid predictor within the byte budget.
+func NewHybrid(bytes int) *Hybrid {
+	n := pow2Entries(bytes/2, 17)
+	return &Hybrid{
+		stride:  NewStride(bytes / 2),
+		context: NewFCM(bytes / 2),
+		choose:  make([]uint8, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Name implements Predictor.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Predict implements Predictor: the chooser selects the component, with
+// fallback to whichever component has a basis when the preferred one is
+// cold.
+func (h *Hybrid) Predict(sp, cqip uint32, reg isa.Reg) (uint64, bool) {
+	sv, sok := h.stride.Predict(sp, cqip, reg)
+	cv, cok := h.context.Predict(sp, cqip, reg)
+	preferContext := h.choose[hash(sp, cqip, reg)&h.mask] >= 2
+	switch {
+	case preferContext && cok:
+		return cv, true
+	case !preferContext && sok:
+		return sv, true
+	case cok:
+		return cv, true
+	case sok:
+		return sv, true
+	default:
+		return 0, false
+	}
+}
+
+// Update implements Predictor: both components train; the chooser moves
+// toward whichever one was right.
+func (h *Hybrid) Update(sp, cqip uint32, reg isa.Reg, actual uint64) {
+	sv, sok := h.stride.Predict(sp, cqip, reg)
+	cv, cok := h.context.Predict(sp, cqip, reg)
+	sHit := sok && sv == actual
+	cHit := cok && cv == actual
+	i := hash(sp, cqip, reg) & h.mask
+	if cHit && !sHit && h.choose[i] < 3 {
+		h.choose[i]++
+	}
+	if sHit && !cHit && h.choose[i] > 0 {
+		h.choose[i]--
+	}
+	h.stride.Update(sp, cqip, reg, actual)
+	h.context.Update(sp, cqip, reg, actual)
+}

@@ -1,0 +1,218 @@
+// Package vpred implements the live-in value predictors the paper
+// evaluates (HPCA'02 §4.3.1): a stride predictor [6][19] and a
+// context-based FCM predictor [20], both sized to a 16KB hardware
+// budget, plus last-value and perfect reference predictors. Tables are
+// indexed by hashing the spawning point PC, the control quasi-
+// independent point PC, and the register identifier, as the paper
+// describes.
+package vpred
+
+import "repro/internal/isa"
+
+// Predictor predicts the value of one live-in register of a thread
+// spawned by the (sp, cqip) pair and is trained with the architected
+// value observed at validation time.
+type Predictor interface {
+	// Predict returns the predicted value. The boolean reports whether
+	// the predictor has any basis for the prediction (cold entries
+	// return false and predict zero).
+	Predict(sp, cqip uint32, reg isa.Reg) (uint64, bool)
+	// Update trains the entry with the actual architected value.
+	Update(sp, cqip uint32, reg isa.Reg, actual uint64)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// hash mixes the pair PCs and register id into a table index.
+func hash(sp, cqip uint32, reg isa.Reg) uint64 {
+	h := uint64(sp)*0x9e3779b97f4a7c15 ^ uint64(cqip)*0xc2b2ae3d27d4eb4f ^ uint64(reg)*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+// Stride is a last-value + stride predictor. Each of its 1024 entries
+// holds a last value, a stride, and a 2-bit confidence counter
+// (16 bytes + tag bits ≈ 16KB).
+type Stride struct {
+	entries []strideEntry
+	mask    uint64
+}
+
+type strideEntry struct {
+	last   uint64
+	stride uint64
+	conf   uint8
+	valid  bool
+}
+
+// NewStride returns a stride predictor with the given table size in
+// bytes (the paper's budget is 16KB → 1024 entries of 16 bytes).
+func NewStride(bytes int) *Stride {
+	n := pow2Entries(bytes, 16)
+	return &Stride{entries: make([]strideEntry, n), mask: uint64(n - 1)}
+}
+
+// Name implements Predictor.
+func (s *Stride) Name() string { return "stride" }
+
+// Predict implements Predictor: last + stride when confident, last
+// value otherwise.
+func (s *Stride) Predict(sp, cqip uint32, reg isa.Reg) (uint64, bool) {
+	e := &s.entries[hash(sp, cqip, reg)&s.mask]
+	if !e.valid {
+		return 0, false
+	}
+	if e.conf >= 1 {
+		return e.last + e.stride, true
+	}
+	return e.last, true
+}
+
+// Update implements Predictor.
+func (s *Stride) Update(sp, cqip uint32, reg isa.Reg, actual uint64) {
+	e := &s.entries[hash(sp, cqip, reg)&s.mask]
+	if !e.valid {
+		e.last = actual
+		e.valid = true
+		e.conf = 0
+		e.stride = 0
+		return
+	}
+	stride := actual - e.last
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = stride
+		}
+	}
+	e.last = actual
+}
+
+// FCM is an order-2 context-based predictor: a first-level table maps
+// the hashed history of recent values to a second-level table of
+// predicted values. The byte budget is split between the two levels.
+type FCM struct {
+	l1     []fcmHist // history per (sp,cqip,reg)
+	l1mask uint64
+	l2     []fcmValue // value per context
+	l2mask uint64
+}
+
+type fcmHist struct {
+	h1, h2 uint64
+	valid  bool
+}
+
+type fcmValue struct {
+	value uint64
+	conf  uint8
+	valid bool
+}
+
+// NewFCM returns a context predictor within the given byte budget
+// (split half/half between levels; the paper's budget is 16KB).
+func NewFCM(bytes int) *FCM {
+	n1 := pow2Entries(bytes/2, 17)
+	n2 := pow2Entries(bytes/2, 9)
+	return &FCM{
+		l1: make([]fcmHist, n1), l1mask: uint64(n1 - 1),
+		l2: make([]fcmValue, n2), l2mask: uint64(n2 - 1),
+	}
+}
+
+// Name implements Predictor.
+func (f *FCM) Name() string { return "context" }
+
+func (f *FCM) context(h *fcmHist) uint64 {
+	c := h.h1*0x9e3779b97f4a7c15 ^ h.h2*0x94d049bb133111eb
+	c ^= c >> 31
+	return c & f.l2mask
+}
+
+// Predict implements Predictor.
+func (f *FCM) Predict(sp, cqip uint32, reg isa.Reg) (uint64, bool) {
+	h := &f.l1[hash(sp, cqip, reg)&f.l1mask]
+	if !h.valid {
+		return 0, false
+	}
+	v := &f.l2[f.context(h)]
+	if !v.valid {
+		return 0, false
+	}
+	return v.value, true
+}
+
+// Update implements Predictor.
+func (f *FCM) Update(sp, cqip uint32, reg isa.Reg, actual uint64) {
+	h := &f.l1[hash(sp, cqip, reg)&f.l1mask]
+	if h.valid {
+		v := &f.l2[f.context(h)]
+		if v.valid && v.value == actual {
+			if v.conf < 3 {
+				v.conf++
+			}
+		} else if v.valid && v.conf > 0 {
+			v.conf--
+		} else {
+			v.value = actual
+			v.valid = true
+			v.conf = 1
+		}
+	}
+	h.h2 = h.h1
+	h.h1 = actual
+	h.valid = true
+}
+
+// LastValue predicts the previously observed value.
+type LastValue struct {
+	entries []lvEntry
+	mask    uint64
+}
+
+type lvEntry struct {
+	value uint64
+	valid bool
+}
+
+// NewLastValue returns a last-value predictor within the byte budget.
+func NewLastValue(bytes int) *LastValue {
+	n := pow2Entries(bytes, 9)
+	return &LastValue{entries: make([]lvEntry, n), mask: uint64(n - 1)}
+}
+
+// Name implements Predictor.
+func (l *LastValue) Name() string { return "last-value" }
+
+// Predict implements Predictor.
+func (l *LastValue) Predict(sp, cqip uint32, reg isa.Reg) (uint64, bool) {
+	e := &l.entries[hash(sp, cqip, reg)&l.mask]
+	return e.value, e.valid
+}
+
+// Update implements Predictor.
+func (l *LastValue) Update(sp, cqip uint32, reg isa.Reg, actual uint64) {
+	e := &l.entries[hash(sp, cqip, reg)&l.mask]
+	e.value = actual
+	e.valid = true
+}
+
+// pow2Entries returns the largest power-of-two entry count fitting the
+// byte budget at the given entry size.
+func pow2Entries(bytes, entrySize int) int {
+	n := 1
+	for n*2*entrySize <= bytes {
+		n *= 2
+	}
+	if n < 16 {
+		n = 16
+	}
+	return n
+}

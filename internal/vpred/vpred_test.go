@@ -1,0 +1,164 @@
+package vpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func trainAndScore(p Predictor, vals []uint64, warm int) (hits, trials int) {
+	for i, v := range vals {
+		if i >= warm {
+			pred, known := p.Predict(1000, 2000, 5)
+			trials++
+			if known && pred == v {
+				hits++
+			}
+		}
+		p.Update(1000, 2000, 5, v)
+	}
+	return
+}
+
+func TestStrideLearnsStrideSequence(t *testing.T) {
+	vals := make([]uint64, 64)
+	for i := range vals {
+		vals[i] = 0x1000 + uint64(i)*8
+	}
+	hits, trials := trainAndScore(NewStride(16<<10), vals, 4)
+	if hits != trials {
+		t.Errorf("stride sequence hits = %d/%d", hits, trials)
+	}
+}
+
+func TestStrideLearnsConstant(t *testing.T) {
+	vals := make([]uint64, 32)
+	for i := range vals {
+		vals[i] = 42
+	}
+	hits, trials := trainAndScore(NewStride(16<<10), vals, 2)
+	if hits != trials {
+		t.Errorf("constant hits = %d/%d", hits, trials)
+	}
+}
+
+func TestStrideFailsOnRandom(t *testing.T) {
+	s := uint64(99)
+	vals := make([]uint64, 64)
+	for i := range vals {
+		s = s*6364136223846793005 + 1442695040888963407
+		vals[i] = s
+	}
+	hits, trials := trainAndScore(NewStride(16<<10), vals, 4)
+	if hits > trials/8 {
+		t.Errorf("random sequence hits = %d/%d, suspiciously high", hits, trials)
+	}
+}
+
+func TestFCMLearnsRepeatingPattern(t *testing.T) {
+	// Period-3 pattern is invisible to a stride predictor but exactly
+	// the FCM's specialty.
+	pattern := []uint64{7, 100, 13}
+	vals := make([]uint64, 120)
+	for i := range vals {
+		vals[i] = pattern[i%3]
+	}
+	fcmHits, fcmTrials := trainAndScore(NewFCM(16<<10), vals, 24)
+	if float64(fcmHits) < 0.9*float64(fcmTrials) {
+		t.Errorf("FCM pattern hits = %d/%d", fcmHits, fcmTrials)
+	}
+	strideHits, strideTrials := trainAndScore(NewStride(16<<10), vals, 24)
+	if strideHits >= fcmHits {
+		t.Errorf("stride (%d) should not beat FCM (%d) on period-3 pattern over %d trials",
+			strideHits, fcmHits, strideTrials)
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	lv := NewLastValue(16 << 10)
+	if _, known := lv.Predict(1, 2, 3); known {
+		t.Error("cold entry must report unknown")
+	}
+	lv.Update(1, 2, 3, 77)
+	if v, known := lv.Predict(1, 2, 3); !known || v != 77 {
+		t.Errorf("Predict = %d,%v", v, known)
+	}
+}
+
+func TestDistinctKeysDontInterfere(t *testing.T) {
+	s := NewStride(16 << 10)
+	s.Update(1, 2, 3, 100)
+	s.Update(1, 2, 3, 108)
+	s.Update(1, 2, 3, 116)
+	s.Update(9, 9, 9, 5)
+	if v, _ := s.Predict(1, 2, 3); v != 124 {
+		t.Errorf("stride prediction after unrelated update = %d, want 124", v)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Predictor{NewStride(1 << 10), NewFCM(1 << 10), NewLastValue(1 << 10)} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestPow2Entries(t *testing.T) {
+	if n := pow2Entries(16<<10, 16); n != 1024 {
+		t.Errorf("16KB/16B = %d entries, want 1024", n)
+	}
+	if n := pow2Entries(0, 16); n != 16 {
+		t.Errorf("zero budget = %d entries, want floor of 16", n)
+	}
+	if n := pow2Entries(24<<10, 16); n != 1024 {
+		t.Errorf("24KB/16B = %d entries, want 1024 (power of two)", n)
+	}
+}
+
+func TestPredictorsNeverPanic(t *testing.T) {
+	preds := []Predictor{NewStride(4 << 10), NewFCM(4 << 10), NewLastValue(4 << 10)}
+	f := func(sp, cqip uint32, reg uint8, v uint64) bool {
+		for _, p := range preds {
+			p.Update(sp, cqip, isa.Reg(reg%32), v)
+			p.Predict(sp, cqip, isa.Reg(reg%32))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridTracksBestComponent(t *testing.T) {
+	// Strided stream: hybrid must match the stride predictor.
+	vals := make([]uint64, 96)
+	for i := range vals {
+		vals[i] = 0x100 + uint64(i)*16
+	}
+	hHits, hTrials := trainAndScore(NewHybrid(16<<10), vals, 8)
+	if float64(hHits) < 0.95*float64(hTrials) {
+		t.Errorf("hybrid on stride stream: %d/%d", hHits, hTrials)
+	}
+	// Period-3 stream: hybrid must approach the FCM.
+	pattern := []uint64{7, 100, 13}
+	vals = make([]uint64, 150)
+	for i := range vals {
+		vals[i] = pattern[i%3]
+	}
+	hHits, hTrials = trainAndScore(NewHybrid(16<<10), vals, 30)
+	if float64(hHits) < 0.85*float64(hTrials) {
+		t.Errorf("hybrid on period-3 stream: %d/%d", hHits, hTrials)
+	}
+}
+
+func TestHybridColdAndName(t *testing.T) {
+	h := NewHybrid(8 << 10)
+	if _, known := h.Predict(1, 2, 3); known {
+		t.Error("cold hybrid must report unknown")
+	}
+	if h.Name() != "hybrid" {
+		t.Error("name wrong")
+	}
+}

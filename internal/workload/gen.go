@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Register conventions for generated code. Workers, helpers, and the
+// recursive routine use disjoint register windows so nested calls never
+// clobber live caller state; the LCG state and table bases are global.
+const (
+	regRet    isa.Reg = 1 // argument 0 / return value
+	regArg1   isa.Reg = 2
+	regLCG    isa.Reg = 4  // global linear-congruential generator state
+	regShared isa.Reg = 5  // shared-table base address
+	regTmp    isa.Reg = 6  // short-lived scratch (never live across calls)
+	regSP     isa.Reg = 27 // memory stack pointer (recursion only)
+
+	mainR0   isa.Reg = 8  // main locals: r8..r14
+	workerR0 isa.Reg = 15 // worker locals: r15..r21
+	helperR0 isa.Reg = 22 // helper/recursive locals: r22..r26
+	padR0    isa.Reg = 28 // block-pad scratch: r28..r31 (never live across calls)
+)
+
+// Memory layout of generated programs (byte addresses, 8-byte words).
+const (
+	arrayWords  = 128
+	chaseWords  = 256
+	sharedWords = 64
+
+	dataBase   = 0x100000
+	arrayStep  = 0x10000
+	chaseBase  = 0x300000
+	sharedBase = 0x400000
+	stackBase  = 0x800000
+
+	lcgMulK = 6364136223846793005
+	lcgAddK = 1442695040888963407
+)
+
+// workerKind enumerates the loop shapes a worker routine can have.
+type workerKind int
+
+const (
+	kindMap workerKind = iota
+	kindReduce
+	kindChase
+	kindBranchy
+)
+
+func (k workerKind) String() string {
+	switch k {
+	case kindMap:
+		return "map"
+	case kindReduce:
+		return "reduce"
+	case kindChase:
+		return "chase"
+	default:
+		return "branchy"
+	}
+}
+
+type worker struct {
+	label string
+	kind  workerKind
+	// helper, when non-empty, is a small wrapper function that calls
+	// the worker (subroutine-continuation material at two call depths).
+	helper string
+}
+
+type gen struct {
+	b      *isa.Builder
+	r      *rng
+	spec   Spec
+	factor int
+
+	nArrays int
+	linear  []bool     // per array: linear (stride-predictable) data?
+	workers [][]worker // per phase
+	labelN  int
+}
+
+// Generate builds the named benchmark at the given size. The same
+// (name, size) always yields the identical program.
+func Generate(name string, size SizeClass) (*isa.Program, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateSpec(spec, size)
+}
+
+// MustGenerate is Generate that panics on error (tests, examples).
+func MustGenerate(name string, size SizeClass) *isa.Program {
+	p, err := Generate(name, size)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// GenerateSpec builds a program from an arbitrary personality spec.
+func GenerateSpec(spec Spec, size SizeClass) (*isa.Program, error) {
+	if spec.Phases <= 0 || spec.WorkersPerPhase <= 0 || spec.OuterTrips <= 0 {
+		return nil, fmt.Errorf("workload: spec %q has non-positive shape parameters", spec.Name)
+	}
+	g := &gen{
+		b:      isa.NewBuilder(spec.Name),
+		r:      newRNG(spec.Seed),
+		spec:   spec,
+		factor: size.factor(),
+	}
+	g.nArrays = spec.Phases + 1
+	if g.nArrays < 4 {
+		g.nArrays = 4
+	}
+	g.linear = make([]bool, g.nArrays)
+	for i := range g.linear {
+		g.linear[i] = g.r.chance(spec.PredictableData)
+	}
+	g.planWorkers()
+	g.emitMain()
+	g.emitWorkers()
+	g.b.SetEntry("main")
+	return g.b.Build()
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf("%s_%d", prefix, g.labelN)
+}
+
+func (g *gen) arrayBase(i int) int64 {
+	return int64(dataBase + (i%g.nArrays)*arrayStep)
+}
+
+// pickKind draws a worker kind from the spec's normalised weights.
+func (g *gen) pickKind() workerKind {
+	w := []float64{g.spec.MapFrac, g.spec.ReduceFrac, g.spec.ChaseFrac, g.spec.BranchyFrac}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return kindMap
+	}
+	p := float64(g.r.next()>>11) / (1 << 53) * total
+	for k, x := range w {
+		if p < x {
+			return workerKind(k)
+		}
+		p -= x
+	}
+	return kindBranchy
+}
+
+func (g *gen) planWorkers() {
+	g.workers = make([][]worker, g.spec.Phases)
+	for ph := range g.workers {
+		n := g.r.rangeInt(2, g.spec.WorkersPerPhase)
+		ws := make([]worker, n)
+		for i := range ws {
+			ws[i] = worker{
+				label: fmt.Sprintf("w_p%d_%d", ph, i),
+				kind:  g.pickKind(),
+			}
+			if g.r.chance(g.spec.CallHeavy) {
+				ws[i].helper = fmt.Sprintf("h_p%d_%d", ph, i)
+			}
+		}
+		g.workers[ph] = ws
+	}
+}
+
+// minLoopBody is the minimum generated loop-body size in instructions
+// (excluding the closing induction update and branch). Compiled loop
+// bodies in SpecInt95-class code are rarely smaller; keeping generated
+// loops above the paper's 32-instruction minimum pair distance makes
+// the profile scheme's size filter meaningful rather than vacuous.
+const minLoopBody = 33

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// emitMain generates the entry function: global setup, array and
+// chase-list initialisation, then one outer loop per phase calling that
+// phase's workers.
+func (g *gen) emitMain() {
+	b := g.b
+	b.Func("main")
+
+	// Global state.
+	b.Li(regLCG, int64(g.spec.Seed*0x9e3779b9+1))
+	b.Li(regShared, sharedBase)
+	b.Li(regSP, stackBase)
+
+	g.emitArrayInits()
+	g.emitChaseInit()
+	g.emitSharedInit()
+
+	// Phases.
+	for ph := 0; ph < g.spec.Phases; ph++ {
+		g.emitPhase(ph)
+	}
+	// Keep the accumulated result observable.
+	b.Store(mainR0+2, regShared, 0)
+	b.Halt()
+}
+
+// emitArrayInits fills each data array with either a linear sequence
+// (stride-predictable loads downstream) or LCG-hashed values. Bodies
+// are unrolled 16× so the loops have realistic iteration sizes (tight
+// few-instruction loops would be unrepresentative serial regions —
+// real compilers unroll them).
+func (g *gen) emitArrayInits() {
+	b := g.b
+	const (
+		ptr    = mainR0     // r8: write pointer
+		end    = mainR0 + 1 // r9: end address
+		val    = mainR0 + 2 // r10: running value
+		step   = mainR0 + 3 // r11: linear step
+		unroll = 16
+	)
+	for i := 0; i < g.nArrays; i++ {
+		base := g.arrayBase(i)
+		loop := g.label("init")
+		b.Li(ptr, base)
+		b.Li(end, base+8*arrayWords)
+		if g.linear[i] {
+			b.Li(val, int64(g.r.rangeInt(3, 1000)))
+			b.Li(step, int64(g.r.rangeInt(1, 64)))
+			b.Label(loop)
+			for u := 0; u < unroll; u++ {
+				b.Store(val, ptr, int64(8*u))
+				b.Op3(isa.OpAdd, val, val, step)
+			}
+		} else {
+			b.Li(step, lcgMulK)
+			b.Li(val, int64(g.r.next()))
+			b.Label(loop)
+			for u := 0; u < unroll; u++ {
+				b.Op3(isa.OpMul, val, val, step)
+				b.Addi(val, val, lcgAddK)
+				b.Store(val, ptr, int64(8*u))
+			}
+		}
+		b.Addi(ptr, ptr, 8*unroll)
+		b.Branch(isa.OpBltu, ptr, end, loop)
+	}
+}
+
+// emitChaseInit links the chase array into a strided cyclic permutation:
+// node i points at node (i+k) & (n-1), with k odd so the walk covers the
+// whole array.
+func (g *gen) emitChaseInit() {
+	b := g.b
+	const (
+		idx   = mainR0     // r8: i
+		n     = mainR0 + 1 // r9
+		base  = mainR0 + 2 // r10
+		k     = mainR0 + 3 // r11
+		mask  = mainR0 + 4 // r12
+		eight = mainR0 + 5 // r13
+		nxt   = mainR0 + 6 // r14
+	)
+	stride := g.r.rangeInt(3, 31) | 1
+	loop := g.label("chaseinit")
+	b.Li(idx, 0)
+	b.Li(n, chaseWords)
+	b.Li(base, chaseBase)
+	b.Li(k, int64(stride))
+	b.Li(mask, chaseWords-1)
+	b.Li(eight, 8)
+	b.Label(loop)
+	for u := 0; u < 8; u++ {
+		b.Op3(isa.OpAdd, nxt, idx, k)
+		b.Op3(isa.OpAnd, nxt, nxt, mask)
+		b.Op3(isa.OpMul, nxt, nxt, eight)
+		b.Op3(isa.OpAdd, nxt, nxt, base)
+		b.Op3(isa.OpMul, regTmp, idx, eight)
+		b.Op3(isa.OpAdd, regTmp, regTmp, base)
+		b.Store(nxt, regTmp, 0)
+		b.Addi(idx, idx, 1)
+	}
+	b.Branch(isa.OpBltu, idx, n, loop)
+}
+
+// emitSharedInit zeroes the shared table.
+func (g *gen) emitSharedInit() {
+	b := g.b
+	const (
+		ptr = mainR0
+		end = mainR0 + 1
+	)
+	loop := g.label("sharedinit")
+	b.Li(ptr, sharedBase)
+	b.Li(end, sharedBase+8*sharedWords)
+	b.Label(loop)
+	b.Store(0, ptr, 0)
+	b.Addi(ptr, ptr, 8)
+	b.Branch(isa.OpBltu, ptr, end, loop)
+}
+
+// emitPhase generates one outer loop calling the phase's workers. The
+// body optionally routes through helper wrappers (call-heavy codes),
+// consumes return values (dependence-bound continuations), and injects
+// LCG-driven worker selection noise (irregular control).
+func (g *gen) emitPhase(ph int) {
+	b := g.b
+	const (
+		i     = mainR0     // r8
+		trips = mainR0 + 1 // r9
+		acc   = mainR0 + 2 // r10
+	)
+	loop := fmt.Sprintf("phase_%d", ph)
+	done := g.label("phasedone")
+
+	b.Li(i, 0)
+	b.Li(trips, int64(g.spec.OuterTrips*g.factor))
+	b.Label(loop)
+
+	ws := g.workers[ph]
+	// Optionally pick between two workers with an unpredictable branch.
+	noisy := len(ws) >= 2 && g.r.chance(g.spec.BranchNoise)
+	start := 0
+	if noisy {
+		alt := g.label("alt")
+		join := g.label("join")
+		g.emitLCGStep(mainR0 + 3) // r11 <- fresh LCG bits
+		b.Li(mainR0+4, 1)
+		b.Op3(isa.OpAnd, regTmp, mainR0+3, mainR0+4)
+		b.Branch(isa.OpBeq, regTmp, 0, alt)
+		g.emitWorkerCall(ws[0], acc)
+		b.Jmp(join)
+		b.Label(alt)
+		g.emitWorkerCall(ws[1], acc)
+		b.Label(join)
+		start = 2
+	}
+	for _, w := range ws[start:] {
+		g.emitWorkerCall(w, acc)
+	}
+	if g.spec.Recursion && ph == 0 {
+		depth := g.r.rangeInt(6, 11)
+		b.Li(regRet, int64(depth))
+		b.Call("rec")
+		b.Op3(isa.OpAdd, acc, acc, regRet)
+	}
+	b.Addi(i, i, 1)
+	b.Branch(isa.OpBgeu, i, trips, done)
+	b.Jmp(loop)
+	b.Label(done)
+}
+
+// emitWorkerCall calls a worker (directly or via its helper) and, per the
+// spec, either consumes the return value into acc or ignores it.
+func (g *gen) emitWorkerCall(w worker, acc isa.Reg) {
+	b := g.b
+	target := w.label
+	if w.helper != "" {
+		target = w.helper
+	}
+	b.Call(target)
+	if g.r.chance(g.spec.RetValUsed) {
+		b.Op3(isa.OpAdd, acc, acc, regRet)
+	}
+}
+
+// emitLCGStep advances the global LCG and leaves mixed bits in dst.
+// Clobbers regTmp.
+func (g *gen) emitLCGStep(dst isa.Reg) {
+	b := g.b
+	b.Li(regTmp, lcgMulK)
+	b.Op3(isa.OpMul, regLCG, regLCG, regTmp)
+	b.Addi(regLCG, regLCG, lcgAddK)
+	b.Li(regTmp, 33)
+	b.Op3(isa.OpShr, dst, regLCG, regTmp)
+}

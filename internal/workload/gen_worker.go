@@ -1,0 +1,343 @@
+package workload
+
+import (
+	"repro/internal/isa"
+)
+
+// emitWorkers generates every worker routine planned by planWorkers,
+// their helper wrappers, and the recursive routine when enabled.
+func (g *gen) emitWorkers() {
+	for ph, ws := range g.workers {
+		for i := range ws {
+			w := &ws[i]
+			src := (ph + i) % g.nArrays
+			dst := (ph + i + 1) % g.nArrays
+			g.emitWorker(w, src, dst)
+			if w.helper != "" {
+				g.emitHelper(w)
+			}
+		}
+	}
+	if g.spec.Recursion {
+		g.emitRecursive()
+	}
+}
+
+// Worker-local register assignments (r15..r21).
+const (
+	wR0 = workerR0     // r15
+	wR1 = workerR0 + 1 // r16
+	wR2 = workerR0 + 2 // r17
+	wR3 = workerR0 + 3 // r18
+	wR4 = workerR0 + 4 // r19
+	wR5 = workerR0 + 5 // r20
+	wR6 = workerR0 + 6 // r21
+)
+
+func (g *gen) emitWorker(w *worker, srcArr, dstArr int) {
+	switch w.kind {
+	case kindMap:
+		g.emitMapWorker(w, srcArr, dstArr)
+	case kindReduce:
+		g.emitReduceWorker(w, srcArr)
+	case kindChase:
+		g.emitChaseWorker(w)
+	case kindBranchy:
+		g.emitBranchyWorker(w, srcArr)
+	}
+}
+
+func (g *gen) trips() int {
+	t := g.r.rangeInt(g.spec.InnerTripsLo, g.spec.InnerTripsHi)
+	if t > arrayWords {
+		t = arrayWords
+	}
+	return t
+}
+
+// emitSegments generates the multi-block body core of a worker loop: a
+// chain of pad segments, each optionally guarded by a data-dependent
+// diamond. Every segment join is an always-executed block, so loops
+// with several segments contribute quadratically many candidate pairs —
+// the structure behind the paper's thousands of qualifying pairs.
+// The dataflow runs from `in` to the returned register (wR4).
+func (g *gen) emitSegments(in isa.Reg, diamondProb float64) isa.Reg {
+	b := g.b
+	cur := in
+	segs := g.r.rangeInt(2, 4)
+	for s := 0; s < segs; s++ {
+		pad := g.r.rangeInt(g.spec.BlockPadLo, g.spec.BlockPadHi)
+		g.emitPad(pad, []isa.Reg{cur, in}, wR4)
+		cur = wR4
+		if g.r.chance(diamondProb) {
+			alt := g.label("segalt")
+			join := g.label("segjoin")
+			bits := g.r.rangeInt(1, 3)
+			b.Li(wR5, int64(1)<<uint(bits)-1)
+			b.Op3(isa.OpAnd, wR5, cur, wR5)
+			b.Branch(isa.OpBeq, wR5, 0, alt)
+			g.emitPad(g.r.rangeInt(2, g.spec.BlockPadLo+3), []isa.Reg{cur}, wR6)
+			b.Op3(isa.OpAdd, wR4, cur, wR6)
+			b.Jmp(join)
+			b.Label(alt)
+			g.emitPad(g.r.rangeInt(2, g.spec.BlockPadLo+3), []isa.Reg{cur}, wR6)
+			b.Op3(isa.OpXor, wR4, cur, wR6)
+			b.Label(join)
+			cur = wR4
+		}
+	}
+	return cur
+}
+
+// emitVarTrips leaves a data-dependent trip count in dst: lo plus a
+// power-of-two-bounded LCG value, clamped so address-bounded loops stay
+// inside their arrays. Clobbers wR5 and regTmp.
+func (g *gen) emitVarTrips(dst isa.Reg, lo, hi, cap int) {
+	target := hi * 2
+	if target > cap {
+		target = cap
+	}
+	spread := 1
+	for lo+spread*2-1 <= target {
+		spread *= 2
+	}
+	b := g.b
+	g.emitLCGStep(dst)
+	b.Li(wR5, int64(spread-1))
+	b.Op3(isa.OpAnd, dst, dst, wR5)
+	b.Addi(dst, dst, int64(lo))
+}
+
+// emitAddrBound leaves the loop end address base+8*trips in dst, either
+// fixed or data-dependent per the spec's VarTrips probability. The base
+// register must already hold the array base.
+func (g *gen) emitAddrBound(dst, baseReg isa.Reg, base int64, trips int) {
+	b := g.b
+	if g.r.chance(g.spec.VarTrips) {
+		g.emitVarTrips(dst, g.spec.InnerTripsLo, g.spec.InnerTripsHi, arrayWords)
+		b.Li(wR5, 8)
+		b.Op3(isa.OpMul, dst, dst, wR5)
+		b.Op3(isa.OpAdd, dst, dst, baseReg)
+		return
+	}
+	b.Li(dst, base+8*int64(trips))
+}
+
+// padBodyTo pads a loop body with independent filler ops until it is at
+// least min instructions long (counted from start). Generated loops thus
+// have realistic iteration sizes — real compiled loop bodies are rarely
+// a handful of instructions.
+func (g *gen) padBodyTo(start uint32, min int, src isa.Reg) {
+	for i := 0; int(g.b.PC()-start) < min; i++ {
+		g.b.Op3(isa.OpXor, padR0+isa.Reg(i%4), src, src)
+	}
+}
+
+// emitMapWorker: independent iterations — dst[i] = f(src[i]). The
+// parallel-friendly shape the profile scheme should exploit.
+func (g *gen) emitMapWorker(w *worker, srcArr, dstArr int) {
+	b := g.b
+	trips := g.trips()
+	src := g.arrayBase(srcArr)
+	dst := g.arrayBase(dstArr)
+	loop := g.label("maploop")
+
+	b.Func(w.label)
+	b.Li(wR0, src)
+	g.emitAddrBound(wR1, wR0, src, trips)
+	b.Li(wR2, dst)
+	b.Label(loop)
+	bodyStart := b.PC()
+	b.Load(wR3, wR0, 0)
+	out := g.emitSegments(wR3, g.spec.BranchNoise)
+	b.Store(out, wR2, 0)
+	g.maybeSharedWrite(out)
+	g.padBodyTo(bodyStart, minLoopBody, out)
+	b.Addi(wR0, wR0, 8)
+	b.Addi(wR2, wR2, 8)
+	b.Branch(isa.OpBltu, wR0, wR1, loop)
+	b.Op3(isa.OpOr, regRet, out, 0)
+	b.Ret()
+}
+
+// emitReduceWorker: acc = acc ⊕ f(src[i]) — a loop-carried scalar that
+// defeats iteration-level speculation (the accumulator live-in is not
+// stride-predictable).
+func (g *gen) emitReduceWorker(w *worker, srcArr int) {
+	b := g.b
+	trips := g.trips()
+	src := g.arrayBase(srcArr)
+	loop := g.label("redloop")
+
+	b.Func(w.label)
+	b.Li(wR0, src)
+	g.emitAddrBound(wR1, wR0, src, trips)
+	b.Li(wR2, int64(g.r.rangeInt(0, 9))) // acc
+	b.Label(loop)
+	bodyStart := b.PC()
+	b.Load(wR3, wR0, 0)
+	out := g.emitSegments(wR3, g.spec.BranchNoise)
+	b.Op3(isa.OpAdd, wR2, wR2, out)
+	g.maybeSharedWrite(wR2)
+	g.padBodyTo(bodyStart, minLoopBody, out)
+	b.Addi(wR0, wR0, 8)
+	b.Branch(isa.OpBltu, wR0, wR1, loop)
+	b.Op3(isa.OpOr, regRet, wR2, 0)
+	b.Ret()
+}
+
+// emitChaseWorker: p = *p pointer chase — serial and latency-bound, with
+// an unpredictable loop-carried live-in.
+func (g *gen) emitChaseWorker(w *worker) {
+	b := g.b
+	trips := g.r.rangeInt(g.spec.InnerTripsLo, g.spec.InnerTripsHi)
+	if trips > chaseWords {
+		trips = chaseWords
+	}
+	pad := g.r.rangeInt(2, g.spec.BlockPadLo+2)
+	loop := g.label("chaseloop")
+
+	b.Func(w.label)
+	b.Li(wR0, chaseBase)
+	if g.r.chance(g.spec.VarTrips) {
+		g.emitVarTrips(wR2, g.spec.InnerTripsLo, g.spec.InnerTripsHi, chaseWords)
+	} else {
+		b.Li(wR2, int64(trips))
+	}
+	b.Li(wR1, 0)
+	b.Label(loop)
+	bodyStart := b.PC()
+	b.Load(wR0, wR0, 0)
+	g.emitPad(pad, []isa.Reg{wR0}, wR3)
+	g.padBodyTo(bodyStart, minLoopBody, wR3)
+	b.Addi(wR1, wR1, 1)
+	b.Branch(isa.OpBltu, wR1, wR2, loop)
+	b.Op3(isa.OpAdd, regRet, wR0, wR3)
+	b.Ret()
+}
+
+// emitBranchyWorker: a scan whose body branches on loaded data in every
+// segment — the irregular-control shape (gshare-hostile when the data
+// is hashed).
+func (g *gen) emitBranchyWorker(w *worker, srcArr int) {
+	b := g.b
+	trips := g.trips()
+	src := g.arrayBase(srcArr)
+	loop := g.label("brloop")
+
+	b.Func(w.label)
+	b.Li(wR0, src)
+	g.emitAddrBound(wR1, wR0, src, trips)
+	b.Li(wR2, 0) // acc
+	b.Label(loop)
+	bodyStart := b.PC()
+	b.Load(wR3, wR0, 0)
+	out := g.emitSegments(wR3, 1.0)
+	b.Op3(isa.OpXor, wR2, wR2, out)
+	g.maybeSharedWrite(wR2)
+	g.padBodyTo(bodyStart, minLoopBody, out)
+	b.Addi(wR0, wR0, 8)
+	b.Branch(isa.OpBltu, wR0, wR1, loop)
+	b.Op3(isa.OpOr, regRet, wR2, 0)
+	b.Ret()
+}
+
+// emitHelper wraps a worker behind a small function: compute, call,
+// post-process the return value.
+func (g *gen) emitHelper(w *worker) {
+	b := g.b
+	const (
+		hR0 = helperR0     // r22
+		hR1 = helperR0 + 1 // r23
+		hR2 = helperR0 + 2 // r24
+	)
+	b.Func(w.helper)
+	b.Li(hR0, int64(g.r.rangeInt(1, 1<<16)))
+	g.emitPad(g.r.rangeInt(2, 4), []isa.Reg{hR0}, hR1)
+	b.Call(w.label)
+	g.emitPad(g.r.rangeInt(2, 4), []isa.Reg{regRet, hR1}, hR2)
+	b.Op3(isa.OpAdd, regRet, regRet, hR2)
+	b.Ret()
+}
+
+// emitRecursive generates rec(n) = rec(n-1) + n with the frame saved on
+// the memory stack (call/return-rich irregular region).
+func (g *gen) emitRecursive() {
+	b := g.b
+	const tmp = helperR0 // r22
+	b.Func("rec")
+	b.Li(tmp, 1)
+	b.Branch(isa.OpBgeu, tmp, regRet, "rec_base")
+	b.Store(regRet, regSP, 0)
+	b.Addi(regSP, regSP, 8)
+	b.Addi(regRet, regRet, -1)
+	b.Call("rec")
+	b.Addi(regSP, regSP, -8)
+	b.Load(tmp, regSP, 0)
+	b.Op3(isa.OpAdd, regRet, regRet, tmp)
+	b.Ret()
+	b.Label("rec_base")
+	b.Li(regRet, 1)
+	b.Ret()
+}
+
+// maybeSharedWrite emits, with the spec's probability, a read-modify-
+// write of an LCG-hashed shared-table slot — the cross-thread memory
+// dependences the speculative versioning cache must detect.
+func (g *gen) maybeSharedWrite(v isa.Reg) {
+	if !g.r.chance(g.spec.SharedWrite) {
+		return
+	}
+	b := g.b
+	g.emitLCGStep(wR5)
+	b.Li(wR6, sharedWords-1)
+	b.Op3(isa.OpAnd, wR5, wR5, wR6)
+	b.Li(wR6, 8)
+	b.Op3(isa.OpMul, wR5, wR5, wR6)
+	b.Op3(isa.OpAdd, wR5, wR5, regShared)
+	b.Load(wR6, wR5, 0)
+	b.Op3(isa.OpAdd, wR6, wR6, v)
+	b.Store(wR6, wR5, 0)
+}
+
+// padOps is the op mix for straight-line padding: mostly 1-cycle ALU,
+// a little integer multiply and FP to exercise the other unit pools.
+var padOps = []isa.Op{
+	isa.OpAdd, isa.OpAdd, isa.OpXor, isa.OpSub, isa.OpOr, isa.OpAnd,
+	isa.OpAdd, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpMul, isa.OpFAdd,
+}
+
+// emitPad generates n straight-line ops whose dataflow starts from the
+// `in` registers and ends in `out`. Intermediate results live in the pad
+// scratch window (r28..r31), so pads never interfere across calls.
+func (g *gen) emitPad(n int, in []isa.Reg, out isa.Reg) {
+	b := g.b
+	if n < 1 {
+		n = 1
+	}
+	pool := append([]isa.Reg{}, in...)
+	for i := 0; i < n; i++ {
+		dst := padR0 + isa.Reg(i%4)
+		if i == n-1 {
+			dst = out
+		}
+		op := padOps[g.r.intn(len(padOps))]
+		s1 := pool[g.r.intn(len(pool))]
+		s2 := pool[g.r.intn(len(pool))]
+		if op == isa.OpShl || op == isa.OpShr {
+			if s1 == dst {
+				s1 = in[0] // keep the dataflow chain intact
+			}
+			// Bound shift amounts via a small immediate register.
+			b.Li(dst, int64(g.r.rangeInt(1, 13)))
+			b.Op3(op, dst, s1, dst)
+		} else {
+			b.Op3(op, dst, s1, s2)
+		}
+		if len(pool) < 6 {
+			pool = append(pool, dst)
+		} else {
+			pool[g.r.intn(len(pool))] = dst
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import "repro/internal/isa"
+
+// Hand-built kernels with known structure, used by unit tests and the
+// quickstart example. They are deliberately tiny and analysable by hand.
+
+// KernelCountLoop returns a program with a single counted loop of the
+// given trip count whose body has `pad` independent ALU ops.
+func KernelCountLoop(trips, pad int) *isa.Program {
+	b := isa.NewBuilder("count-loop")
+	b.Func("main")
+	b.Li(8, 0)
+	b.Li(9, int64(trips))
+	b.Label("loop")
+	for i := 0; i < pad; i++ {
+		b.Op3(isa.OpAdd, isa.Reg(10+i%4), 8, 9)
+	}
+	b.Addi(8, 8, 1)
+	b.Branch(isa.OpBltu, 8, 9, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// KernelIndependentMap returns a map-style loop: dst[i] = src[i] + k,
+// with fully independent iterations of roughly `pad`+4 instructions.
+// Iterations are ideal speculative threads.
+func KernelIndependentMap(trips, pad int) *isa.Program {
+	if trips > arrayWords {
+		trips = arrayWords
+	}
+	b := isa.NewBuilder("independent-map")
+	b.Func("main")
+	// init src with a linear sequence
+	b.Li(8, dataBase)
+	b.Li(9, dataBase+8*int64(trips))
+	b.Li(10, 7)
+	b.Label("init")
+	b.Store(10, 8, 0)
+	b.Addi(10, 10, 3)
+	b.Addi(8, 8, 8)
+	b.Branch(isa.OpBltu, 8, 9, "init")
+	// map loop
+	b.Li(8, dataBase)
+	b.Li(9, dataBase+8*int64(trips))
+	b.Li(11, dataBase+arrayStep)
+	b.Label("loop")
+	b.Load(12, 8, 0)
+	for i := 0; i < pad; i++ {
+		b.Op3(isa.OpAdd, 13, 12, 12)
+		b.Op3(isa.OpXor, 12, 13, 12)
+	}
+	b.Store(12, 11, 0)
+	b.Addi(8, 8, 8)
+	b.Addi(11, 11, 8)
+	b.Branch(isa.OpBltu, 8, 9, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// KernelCallChain returns a program whose main loop calls a leaf
+// function; the continuation does not consume the return value, so
+// subroutine-continuation spawning is profitable.
+func KernelCallChain(trips, leafPad int) *isa.Program {
+	b := isa.NewBuilder("call-chain")
+	b.Func("main")
+	b.Li(8, 0)
+	b.Li(9, int64(trips))
+	b.Label("loop")
+	b.Call("leaf")
+	b.Op3(isa.OpAdd, 10, 8, 9)
+	b.Op3(isa.OpXor, 11, 10, 8)
+	b.Addi(8, 8, 1)
+	b.Branch(isa.OpBltu, 8, 9, "loop")
+	b.Halt()
+	b.Func("leaf")
+	b.Li(15, 3)
+	for i := 0; i < leafPad; i++ {
+		b.Op3(isa.OpAdd, 16, 15, 15)
+		b.Op3(isa.OpAdd, 15, 16, 15)
+	}
+	b.Op3(isa.OpOr, 1, 15, 0)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// KernelDiamond returns a loop whose body is an if/else diamond selected
+// by a data-dependent condition (i&1), joining before the backedge.
+func KernelDiamond(trips int) *isa.Program {
+	b := isa.NewBuilder("diamond")
+	b.Func("main")
+	b.Li(8, 0)
+	b.Li(9, int64(trips))
+	b.Li(13, 1)
+	b.Label("loop")
+	b.Op3(isa.OpAnd, 10, 8, 13)
+	b.Branch(isa.OpBeq, 10, 0, "even")
+	b.Op3(isa.OpAdd, 11, 8, 9)
+	b.Op3(isa.OpAdd, 11, 11, 11)
+	b.Jmp("join")
+	b.Label("even")
+	b.Op3(isa.OpXor, 11, 8, 9)
+	b.Label("join")
+	b.Op3(isa.OpAdd, 12, 11, 8)
+	b.Addi(8, 8, 1)
+	b.Branch(isa.OpBltu, 8, 9, "loop")
+	b.Halt()
+	return b.MustBuild()
+}

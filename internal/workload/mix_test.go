@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// TestOpcodeMixSanity: every benchmark's dynamic stream must contain a
+// plausible mix of memory operations, branches, and calls — the streams
+// the spawning analyses and the memory system are exercised by.
+func TestOpcodeMixSanity(t *testing.T) {
+	for _, name := range Benchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := MustGenerate(name, SizeTest)
+			res, err := emu.Run(p, emu.Config{CollectTrace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var loads, stores, branches, calls int
+			for i := range res.Trace.Events {
+				switch res.Trace.Events[i].Op {
+				case isa.OpLoad:
+					loads++
+				case isa.OpStore:
+					stores++
+				case isa.OpBeq, isa.OpBne, isa.OpBltu, isa.OpBgeu:
+					branches++
+				case isa.OpCall:
+					calls++
+				}
+			}
+			n := res.Trace.Len()
+			frac := func(c int) float64 { return float64(c) / float64(n) }
+			if frac(loads) < 0.01 {
+				t.Errorf("loads %.2f%% too rare", 100*frac(loads))
+			}
+			if frac(stores) < 0.005 {
+				t.Errorf("stores %.2f%% too rare", 100*frac(stores))
+			}
+			if frac(branches) < 0.01 || frac(branches) > 0.25 {
+				t.Errorf("branches %.2f%% implausible", 100*frac(branches))
+			}
+			if calls == 0 {
+				t.Error("no calls at all")
+			}
+		})
+	}
+}
+
+// TestAllBenchmarksDeterministicAcrossSizes: same (name, size) must
+// yield identical programs on every call, for every benchmark and size.
+func TestAllBenchmarksDeterministicAcrossSizes(t *testing.T) {
+	for _, name := range Benchmarks {
+		for _, size := range []SizeClass{SizeTest, SizeFull} {
+			a := MustGenerate(name, size)
+			b := MustGenerate(name, size)
+			if len(a.Code) != len(b.Code) {
+				t.Fatalf("%s/%v: lengths differ", name, size)
+			}
+			for i := range a.Code {
+				if a.Code[i] != b.Code[i] {
+					t.Fatalf("%s/%v: instruction %d differs", name, size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDisassembleListsFunctions: the disassembler must show every
+// generated function exactly once.
+func TestDisassembleListsFunctions(t *testing.T) {
+	p := MustGenerate("compress", SizeTest)
+	var sb strings.Builder
+	if err := isa.Disassemble(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, f := range p.Funcs {
+		if !strings.Contains(out, f.Name+":") {
+			t.Errorf("function %s missing from listing", f.Name)
+		}
+	}
+	if !strings.Contains(out, "halt") {
+		t.Error("no halt in listing")
+	}
+}
+
+// TestVariableTripsActuallyVary: with VarTrips enabled, the same worker
+// loop must execute different iteration counts across invocations
+// (observable as differing block counts vs a VarTrips=0 clone).
+func TestVariableTripsActuallyVary(t *testing.T) {
+	spec, err := Lookup("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VarTrips = 1.0
+	withVar, err := GenerateSpec(spec, SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VarTrips = 0
+	withoutVar, err := GenerateSpec(spec, SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := emu.Run(withVar, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := emu.Run(withoutVar, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Instrs == rb.Instrs {
+		t.Error("variable trip counts produced identical dynamic length")
+	}
+}

@@ -1,0 +1,41 @@
+package workload
+
+// rng is a xorshift64* PRNG. The generator embeds all randomness at
+// program-construction time so that a (benchmark, seed, size) triple
+// always produces the identical program, independent of Go version.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform value in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// chance reports true with probability p.
+func (r *rng) chance(p float64) bool {
+	return float64(r.next()>>11)/(1<<53) < p
+}

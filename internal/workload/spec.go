@@ -1,0 +1,215 @@
+// Package workload generates the synthetic SpecInt95-like benchmark
+// suite. SpecInt95 sources, inputs, and Alpha binaries are not available,
+// so each benchmark is replaced by a deterministic synthetic program
+// whose *dynamic-stream properties* mimic the published character of the
+// original (DESIGN.md §1): code footprint, loop regularity, branch bias,
+// value predictability of thread live-ins, and the density of
+// dependences that cross candidate thread boundaries. Those are the only
+// properties the spawning analyses and the trace-driven simulator
+// observe.
+package workload
+
+import "fmt"
+
+// SizeClass scales dynamic work without changing program structure.
+type SizeClass int
+
+// Size classes: Test keeps unit tests fast; Small is the default for
+// examples; Full is used by the experiment harness and benches.
+const (
+	SizeTest SizeClass = iota
+	SizeSmall
+	SizeFull
+)
+
+// factor returns the trip-count multiplier for the class.
+func (s SizeClass) factor() int {
+	switch s {
+	case SizeTest:
+		return 1
+	case SizeSmall:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// String returns the class name.
+func (s SizeClass) String() string {
+	switch s {
+	case SizeTest:
+		return "test"
+	case SizeSmall:
+		return "small"
+	default:
+		return "full"
+	}
+}
+
+// Spec is a benchmark personality. All probabilities are in [0,1].
+type Spec struct {
+	Name string
+	Seed uint64
+
+	// Phases is the number of top-level program phases (each phase is
+	// an outer loop over a distinct mix of worker routines).
+	Phases int
+	// WorkersPerPhase bounds the worker routines a phase draws on.
+	WorkersPerPhase int
+	// OuterTrips is the base outer-loop trip count of each phase.
+	OuterTrips int
+	// InnerTripsLo/Hi bound per-loop trip counts of worker loops.
+	InnerTripsLo, InnerTripsHi int
+
+	// MapFrac is the probability a worker loop is a map-style loop with
+	// independent iterations (parallel-friendly); the rest are
+	// reductions, pointer chases, or branchy scans per the weights
+	// below (normalised).
+	MapFrac     float64
+	ReduceFrac  float64
+	ChaseFrac   float64
+	BranchyFrac float64
+
+	// CallHeavy is the probability a phase body routes work through a
+	// chain of small helper calls (subroutine-continuation material).
+	CallHeavy float64
+	// RetValUsed is the probability a call's return value is consumed
+	// immediately by the continuation (making the heuristic
+	// subroutine-continuation spawn dependence-bound).
+	RetValUsed float64
+	// Recursion enables a bounded recursive routine (go, li).
+	Recursion bool
+
+	// BranchNoise is the probability a worker-loop body includes a
+	// data-dependent (LCG-driven) unpredictable branch.
+	BranchNoise float64
+	// PredictableData is the probability array data is laid out as
+	// linear sequences (stride-predictable loads) rather than hashed.
+	PredictableData float64
+
+	// BlockPadLo/Hi bound the straight-line compute padding per block,
+	// controlling block and thread sizes.
+	BlockPadLo, BlockPadHi int
+
+	// SharedWrite is the per-iteration probability that a worker loop
+	// read-modify-writes a hashed slot of a shared table, creating the
+	// occasional cross-thread memory dependence the SVC must catch.
+	SharedWrite float64
+
+	// VarTrips is the probability a worker loop's trip count is
+	// data-dependent (computed from the in-program LCG at entry)
+	// rather than fixed. Variable trip counts create the thread-size
+	// imbalance the paper's spawning-pair removal policy targets, and
+	// make loop exits branch-unpredictable.
+	VarTrips float64
+}
+
+// Benchmarks lists the SpecInt95 programs in the paper's order.
+var Benchmarks = []string{
+	"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex",
+}
+
+// specs maps each benchmark to its personality. The parameters were
+// chosen so the suite spans the axes the paper's results turn on:
+// ijpeg most regular (highest speed-up), compress tiny code footprint
+// (~30 selected pairs) and serial, gcc the largest CFG, go/li irregular
+// control with recursion, vortex call-heavy.
+var specs = map[string]Spec{
+	"go": {
+		Name: "go", Seed: 101,
+		Phases: 4, WorkersPerPhase: 5, OuterTrips: 12,
+		InnerTripsLo: 6, InnerTripsHi: 22,
+		MapFrac: 0.35, ReduceFrac: 0.25, ChaseFrac: 0.10, BranchyFrac: 0.30,
+		CallHeavy: 0.5, RetValUsed: 0.5, Recursion: true,
+		BranchNoise: 0.45, PredictableData: 0.45,
+		BlockPadLo: 3, BlockPadHi: 8,
+		SharedWrite: 0.06,
+		VarTrips:    0.5,
+	},
+	"m88ksim": {
+		Name: "m88ksim", Seed: 202,
+		Phases: 3, WorkersPerPhase: 4, OuterTrips: 14,
+		InnerTripsLo: 8, InnerTripsHi: 28,
+		MapFrac: 0.50, ReduceFrac: 0.20, ChaseFrac: 0.05, BranchyFrac: 0.25,
+		CallHeavy: 0.6, RetValUsed: 0.35, Recursion: false,
+		BranchNoise: 0.25, PredictableData: 0.65,
+		BlockPadLo: 4, BlockPadHi: 9,
+		SharedWrite: 0.04,
+		VarTrips:    0.3,
+	},
+	"gcc": {
+		Name: "gcc", Seed: 303,
+		Phases: 7, WorkersPerPhase: 6, OuterTrips: 8,
+		InnerTripsLo: 4, InnerTripsHi: 18,
+		MapFrac: 0.40, ReduceFrac: 0.20, ChaseFrac: 0.10, BranchyFrac: 0.30,
+		CallHeavy: 0.7, RetValUsed: 0.45, Recursion: false,
+		BranchNoise: 0.40, PredictableData: 0.50,
+		BlockPadLo: 3, BlockPadHi: 7,
+		SharedWrite: 0.08,
+		VarTrips:    0.5,
+	},
+	"compress": {
+		Name: "compress", Seed: 404,
+		Phases: 2, WorkersPerPhase: 3, OuterTrips: 30,
+		InnerTripsLo: 10, InnerTripsHi: 24,
+		MapFrac: 0.20, ReduceFrac: 0.55, ChaseFrac: 0.15, BranchyFrac: 0.10,
+		CallHeavy: 0.2, RetValUsed: 0.7, Recursion: false,
+		BranchNoise: 0.35, PredictableData: 0.40,
+		BlockPadLo: 3, BlockPadHi: 6,
+		SharedWrite: 0.15,
+		VarTrips:    0.3,
+	},
+	"li": {
+		Name: "li", Seed: 505,
+		Phases: 4, WorkersPerPhase: 4, OuterTrips: 11,
+		InnerTripsLo: 5, InnerTripsHi: 16,
+		MapFrac: 0.35, ReduceFrac: 0.25, ChaseFrac: 0.20, BranchyFrac: 0.20,
+		CallHeavy: 0.7, RetValUsed: 0.5, Recursion: true,
+		BranchNoise: 0.30, PredictableData: 0.55,
+		BlockPadLo: 3, BlockPadHi: 7,
+		SharedWrite: 0.06,
+		VarTrips:    0.45,
+	},
+	"ijpeg": {
+		Name: "ijpeg", Seed: 606,
+		Phases: 3, WorkersPerPhase: 4, OuterTrips: 14,
+		InnerTripsLo: 20, InnerTripsHi: 56,
+		MapFrac: 0.80, ReduceFrac: 0.10, ChaseFrac: 0.0, BranchyFrac: 0.10,
+		CallHeavy: 0.3, RetValUsed: 0.2, Recursion: false,
+		BranchNoise: 0.08, PredictableData: 0.9,
+		BlockPadLo: 5, BlockPadHi: 10,
+		SharedWrite: 0.01,
+		VarTrips:    0.1,
+	},
+	"perl": {
+		Name: "perl", Seed: 707,
+		Phases: 5, WorkersPerPhase: 5, OuterTrips: 10,
+		InnerTripsLo: 4, InnerTripsHi: 36,
+		MapFrac: 0.40, ReduceFrac: 0.20, ChaseFrac: 0.15, BranchyFrac: 0.25,
+		CallHeavy: 0.6, RetValUsed: 0.5, Recursion: false,
+		BranchNoise: 0.35, PredictableData: 0.50,
+		BlockPadLo: 2, BlockPadHi: 9,
+		SharedWrite: 0.08,
+		VarTrips:    0.55,
+	},
+	"vortex": {
+		Name: "vortex", Seed: 808,
+		Phases: 5, WorkersPerPhase: 5, OuterTrips: 11,
+		InnerTripsLo: 8, InnerTripsHi: 24,
+		MapFrac: 0.55, ReduceFrac: 0.15, ChaseFrac: 0.05, BranchyFrac: 0.25,
+		CallHeavy: 0.85, RetValUsed: 0.3, Recursion: false,
+		BranchNoise: 0.20, PredictableData: 0.65,
+		BlockPadLo: 4, BlockPadHi: 8,
+		SharedWrite: 0.05,
+		VarTrips:    0.35,
+	},
+}
+
+// Lookup returns the personality spec for a benchmark name.
+func Lookup(name string) (Spec, error) {
+	s, ok := specs[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return s, nil
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+func TestGenerateAllBenchmarksRun(t *testing.T) {
+	for _, name := range Benchmarks {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := Generate(name, SizeTest)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			res, err := emu.Run(p, emu.Config{CollectTrace: true})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Instrs < 5000 {
+				t.Errorf("suspiciously small run: %d instructions", res.Instrs)
+			}
+			if res.Instrs > 2_000_000 {
+				t.Errorf("suspiciously large test-size run: %d instructions", res.Instrs)
+			}
+			if err := res.Trace.Validate(); err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			if len(res.Profile.CallSites) == 0 {
+				t.Error("no call sites profiled")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("perl", SizeTest)
+	b := MustGenerate("perl", SizeTest)
+	if len(a.Code) != len(b.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Code), len(b.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs: %v vs %v", i, a.Code[i], b.Code[i])
+		}
+	}
+}
+
+func TestSizeClassesScaleWork(t *testing.T) {
+	var got [3]int
+	for i, sz := range []SizeClass{SizeTest, SizeSmall, SizeFull} {
+		p := MustGenerate("m88ksim", sz)
+		res, err := emu.Run(p, emu.Config{})
+		if err != nil {
+			t.Fatalf("%v: %v", sz, err)
+		}
+		got[i] = res.Instrs
+	}
+	if !(got[0] < got[1] && got[1] < got[2]) {
+		t.Errorf("sizes not monotone: %v", got)
+	}
+}
+
+func TestGenerateUnknownBenchmark(t *testing.T) {
+	if _, err := Generate("nonesuch", SizeTest); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestGenerateSpecRejectsBadShape(t *testing.T) {
+	if _, err := GenerateSpec(Spec{Name: "bad"}, SizeTest); err == nil {
+		t.Fatal("expected error for zero-shape spec")
+	}
+}
+
+func TestKernelsRunAndTerminate(t *testing.T) {
+	kernels := map[string]*isa.Program{
+		"count":   KernelCountLoop(100, 4),
+		"map":     KernelIndependentMap(64, 3),
+		"calls":   KernelCallChain(50, 5),
+		"diamond": KernelDiamond(80),
+	}
+	for name, p := range kernels {
+		res, err := emu.Run(p, emu.Config{CollectTrace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Trace.Validate(); err != nil {
+			t.Fatalf("%s trace: %v", name, err)
+		}
+	}
+}
+
+func TestKernelCountLoopInstrCount(t *testing.T) {
+	trips, pad := 10, 3
+	p := KernelCountLoop(trips, pad)
+	res, err := emu.Run(p, emu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li,li + trips*(pad+addi+branch) + halt
+	want := 2 + trips*(pad+2) + 1
+	if res.Instrs != want {
+		t.Errorf("instrs = %d, want %d", res.Instrs, want)
+	}
+}
+
+func TestRNGDeterminismAndRanges(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	r := newRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.rangeInt(3, 9); v < 3 || v > 9 {
+			t.Fatalf("rangeInt out of bounds: %d", v)
+		}
+		if v := r.intn(5); v < 0 || v >= 5 {
+			t.Fatalf("intn out of bounds: %d", v)
+		}
+	}
+	if newRNG(0).next() == 0 {
+		t.Error("zero seed must still produce values")
+	}
+}

@@ -1,0 +1,188 @@
+// Package spmt is the public facade of the repository: a library
+// reproduction of "Thread-Spawning Schemes for Speculative
+// Multithreading" (Marcuello & González, HPCA 2002).
+//
+// The paper proposes selecting speculative-thread spawning pairs — a
+// spawning point (SP) and a control quasi-independent point (CQIP) —
+// by profile analysis: build the dynamic control-flow graph, prune it
+// to the hot 90%, compute for every block pair the probability that the
+// second block executes before the first recurs (and the expected
+// instruction distance), and keep pairs above probability 0.95 and
+// distance 32. Competing CQIPs for one SP are ordered by expected
+// thread size, independence, or value predictability. The scheme is
+// evaluated on a Clustered Speculative Multithreaded Processor against
+// the traditional loop-iteration / loop-continuation / subroutine-
+// continuation heuristics.
+//
+// A typical end-to-end use:
+//
+//	prog := spmt.MustGenerate("ijpeg", spmt.SizeSmall)
+//	art, _ := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+//	pairs, _ := spmt.SelectPairs(art, spmt.SelectConfig{})
+//	base, _ := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 1})
+//	smt, _ := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 16, Pairs: pairs})
+//	fmt.Printf("speed-up: %.2f\n", spmt.Speedup(base, smt))
+//
+// The heavy lifting lives in the internal packages (isa, emu, cfg,
+// reach, dep, core, heuristic, bpred, vpred, cache, svc, cluster,
+// workload, expt); this package re-exports the types and entry points a
+// downstream user needs.
+package spmt
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/heuristic"
+	"repro/internal/isa"
+	"repro/internal/reach"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Re-exported substrate types.
+type (
+	// Program is an executable program for the repository's RISC-like
+	// ISA.
+	Program = isa.Program
+	// Trace is a dynamic instruction stream.
+	Trace = trace.Trace
+	// Profile is the basic-block/edge execution profile.
+	Profile = emu.Profile
+	// Graph is the (pruned) dynamic control-flow graph.
+	Graph = cfg.Graph
+	// ReachResult holds the pairwise reaching-probability and
+	// expected-distance matrices.
+	ReachResult = reach.Result
+	// Pair is one spawning pair (SP, CQIP).
+	Pair = core.Pair
+	// PairTable is a spawn-pair table (one primary pair per SP plus
+	// ordered alternates).
+	PairTable = core.Table
+	// SimConfig parameterises the Clustered SpMT processor simulation.
+	SimConfig = cluster.Config
+	// SimResult carries simulation statistics.
+	SimResult = cluster.Result
+	// SelectConfig parameterises profile-based pair selection.
+	SelectConfig = core.Config
+	// SizeClass scales generated benchmark work.
+	SizeClass = workload.SizeClass
+)
+
+// Workload size classes.
+const (
+	SizeTest  = workload.SizeTest
+	SizeSmall = workload.SizeSmall
+	SizeFull  = workload.SizeFull
+)
+
+// CQIP ordering criteria (paper §3.1).
+const (
+	MaxDistance    = core.MaxDistance
+	MaxIndependent = core.MaxIndependent
+	MaxPredictable = core.MaxPredictable
+)
+
+// Value predictor kinds (paper §4.3.1).
+const (
+	Perfect   = cluster.Perfect
+	Stride    = cluster.Stride
+	Context   = cluster.Context
+	LastValue = cluster.LastValue
+)
+
+// Heuristic schemes (paper §3, the comparison baselines).
+const (
+	LoopIteration          = heuristic.LoopIteration
+	LoopContinuation       = heuristic.LoopContinuation
+	SubroutineContinuation = heuristic.SubroutineContinuation
+	CombinedHeuristics     = heuristic.Combined
+)
+
+// Benchmarks lists the synthetic SpecInt95-like suite.
+var Benchmarks = workload.Benchmarks
+
+// Generate builds a named benchmark program.
+func Generate(name string, size SizeClass) (*Program, error) {
+	return workload.Generate(name, size)
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(name string, size SizeClass) *Program {
+	return workload.MustGenerate(name, size)
+}
+
+// Artifacts bundles the profiling pipeline's outputs for one program.
+type Artifacts struct {
+	Program *Program
+	Trace   *Trace
+	Profile *Profile
+	Graph   *Graph
+	Reach   *ReachResult
+}
+
+// AnalyzeConfig controls the profiling pipeline.
+type AnalyzeConfig struct {
+	// Coverage is the pruning coverage target (default 0.90, the
+	// paper's value).
+	Coverage float64
+	// MaxNodes caps the pruned CFG size (default 256).
+	MaxNodes int
+	// MaxInstrs bounds emulation (default emu.DefaultMaxInstrs).
+	MaxInstrs int
+}
+
+// Analyze runs the program and produces every profiling artefact the
+// spawning analyses need: trace, profile, pruned CFG, and the
+// reaching-probability/distance matrices.
+func Analyze(p *Program, cfgA AnalyzeConfig) (*Artifacts, error) {
+	if cfgA.Coverage == 0 {
+		cfgA.Coverage = 0.90
+	}
+	if cfgA.MaxNodes == 0 {
+		cfgA.MaxNodes = 256
+	}
+	res, err := emu.Run(p, emu.Config{CollectTrace: true, MaxInstrs: cfgA.MaxInstrs})
+	if err != nil {
+		return nil, fmt.Errorf("spmt: emulate: %w", err)
+	}
+	g, err := cfg.Build(res.Profile).Prune(cfgA.Coverage, cfgA.MaxNodes)
+	if err != nil {
+		return nil, fmt.Errorf("spmt: prune: %w", err)
+	}
+	r, err := reach.Compute(g)
+	if err != nil {
+		return nil, fmt.Errorf("spmt: reach: %w", err)
+	}
+	res.Trace.BuildIndex()
+	return &Artifacts{Program: p, Trace: res.Trace, Profile: res.Profile, Graph: g, Reach: r}, nil
+}
+
+// SelectPairs runs the paper's profile-based spawning-pair selection
+// over the artefacts.
+func SelectPairs(a *Artifacts, cfgS SelectConfig) (*PairTable, error) {
+	return core.Select(a.Profile, a.Graph, a.Reach, a.Trace, cfgS)
+}
+
+// HeuristicPairs derives the traditional construct-based pairs
+// (loop-iteration, loop-continuation, subroutine-continuation or their
+// combination).
+func HeuristicPairs(a *Artifacts, scheme heuristic.Scheme) *PairTable {
+	return heuristic.Pairs(a.Program, a.Profile, a.Trace, scheme, heuristic.Config{})
+}
+
+// Simulate runs the Clustered SpMT processor model over a trace.
+func Simulate(tr *Trace, cfgSim SimConfig) (*SimResult, error) {
+	return cluster.Simulate(tr, cfgSim)
+}
+
+// Speedup returns base.Cycles / other.Cycles.
+func Speedup(base, other *SimResult) float64 {
+	if other.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(other.Cycles)
+}

@@ -1,0 +1,81 @@
+package spmt_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quickstart flow.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prog, err := spmt.Generate("compress", spmt.SizeTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Trace.Len() == 0 || len(art.Graph.Nodes) == 0 {
+		t.Fatal("empty artefacts")
+	}
+	pairs, err := spmt.SelectPairs(art, spmt.SelectConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs.Len() == 0 {
+		t.Fatal("no pairs selected")
+	}
+	base, err := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smt, err := spmt.Simulate(art.Trace, spmt.SimConfig{TUs: 16, Pairs: pairs, SpawnWindowFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := spmt.Speedup(base, smt); sp <= 1 {
+		t.Errorf("speed-up %.2f not above 1", sp)
+	}
+	if spmt.Speedup(base, &spmt.SimResult{}) != 0 {
+		t.Error("zero-cycle guard failed")
+	}
+}
+
+func TestPublicAPIHeuristics(t *testing.T) {
+	prog := spmt.MustGenerate("li", spmt.SizeTest)
+	art, err := spmt.Analyze(prog, spmt.AnalyzeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := spmt.HeuristicPairs(art, spmt.CombinedHeuristics)
+	if tab.Len() == 0 {
+		t.Fatal("no heuristic pairs")
+	}
+	li := spmt.HeuristicPairs(art, spmt.LoopIteration)
+	if li.Len() > tab.Len() {
+		t.Error("individual scheme has more pairs than the combination")
+	}
+}
+
+func TestPublicAPIBadInputs(t *testing.T) {
+	if _, err := spmt.Generate("nope", spmt.SizeTest); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	prog := spmt.MustGenerate("ijpeg", spmt.SizeTest)
+	if _, err := spmt.Analyze(prog, spmt.AnalyzeConfig{MaxInstrs: 10}); err == nil {
+		t.Error("expected budget error")
+	}
+}
+
+func TestBenchmarksListStable(t *testing.T) {
+	want := []string{"go", "m88ksim", "gcc", "compress", "li", "ijpeg", "perl", "vortex"}
+	if len(spmt.Benchmarks) != len(want) {
+		t.Fatalf("benchmarks = %v", spmt.Benchmarks)
+	}
+	for i := range want {
+		if spmt.Benchmarks[i] != want[i] {
+			t.Fatalf("benchmarks = %v", spmt.Benchmarks)
+		}
+	}
+}

@@ -1,20 +1,24 @@
 // Command spmt-experiments regenerates the paper's evaluation: every
 // figure of HPCA'02 §4 as an ASCII table (optionally CSV), over the
-// synthetic SpecInt95-like suite.
+// synthetic SpecInt95-like suite. The per-benchmark pipelines are built
+// concurrently on the job engine (-parallel bounds the workers); the
+// output is identical to a serial run.
 //
 // Usage:
 //
 //	spmt-experiments [-figure all|fig3|fig9b|...] [-size test|small|full]
-//	                 [-bench go,gcc,...] [-csv]
+//	                 [-bench go,gcc,...] [-parallel N] [-csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/expt"
 	"repro/internal/workload"
 )
@@ -23,12 +27,16 @@ func main() {
 	figure := flag.String("figure", "all", "figure to regenerate (all, fig2, fig3, fig4, fig5a, fig5b, fig6, fig7a, fig7b, fig8, fig9a, fig9b, fig10a, fig10b, fig11, fig12)")
 	sizeFlag := flag.String("size", "full", "workload size class: test, small, full")
 	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size (1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 	flag.Parse()
 
-	size, err := parseSize(*sizeFlag)
+	size, err := workload.ParseSize(*sizeFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *parallel < 1 {
+		fatal(fmt.Errorf("-parallel must be >= 1, got %d", *parallel))
 	}
 	var names []string
 	if *benchFlag != "" {
@@ -36,8 +44,9 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "building pipeline (size=%s)...\n", size)
-	suite, err := expt.NewSuite(size, names)
+	fmt.Fprintf(os.Stderr, "building pipeline (size=%s, workers=%d)...\n", size, *parallel)
+	eng := engine.New(engine.Options{Workers: *parallel})
+	suite, err := expt.NewSuiteEngine(eng, size, names)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,18 +72,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(t0).Round(time.Millisecond))
 	}
-}
-
-func parseSize(s string) (workload.SizeClass, error) {
-	switch s {
-	case "test":
-		return workload.SizeTest, nil
-	case "small":
-		return workload.SizeSmall, nil
-	case "full":
-		return workload.SizeFull, nil
-	}
-	return 0, fmt.Errorf("unknown size %q (want test, small, or full)", s)
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "engine: %d jobs executed, %d deduped, cache %d hits / %d misses\n",
+		st.Executed, st.Deduped, st.Cache.Hits, st.Cache.Misses)
 }
 
 func fatal(err error) {

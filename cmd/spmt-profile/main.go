@@ -25,7 +25,7 @@ func main() {
 	nBlocks := flag.Int("blocks", 15, "number of hot blocks to print")
 	flag.Parse()
 
-	size, err := parseSize(*sizeFlag)
+	size, err := spmt.ParseSize(*sizeFlag)
 	check(err)
 	prog, err := spmt.Generate(*bench, size)
 	check(err)
@@ -70,18 +70,6 @@ func main() {
 		fmt.Printf("%-9s %7d %7d %6.3f %8.1f %6.1f %6.1f  %v\n",
 			p.Kind, p.SP, p.CQIP, p.Prob, p.Dist, p.AvgIndep, p.AvgPred, p.LiveIns)
 	}
-}
-
-func parseSize(s string) (spmt.SizeClass, error) {
-	switch s {
-	case "test":
-		return spmt.SizeTest, nil
-	case "small":
-		return spmt.SizeSmall, nil
-	case "full":
-		return spmt.SizeFull, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }
 
 func check(err error) {

@@ -1,0 +1,58 @@
+// Command spmt-server serves the paper's analysis pipeline and
+// Clustered SpMT simulator over HTTP/JSON. All requests share one
+// concurrent job engine, so identical or overlapping work — across
+// endpoints and across clients — is deduplicated in flight and repeat
+// requests hit the content-keyed artifact cache.
+//
+// Usage:
+//
+//	spmt-server [-addr :8080] [-parallel N] [-cache-entries N]
+//
+// Endpoints:
+//
+//	POST /v1/analyze      {"bench":"ijpeg","size":"test"}
+//	POST /v1/pairs        {"bench":"ijpeg","policy":"profile"}
+//	POST /v1/simulate     {"bench":"ijpeg","policy":"profile","tus":16,"predictor":"stride"}
+//	GET  /v1/figures/fig3?size=test&bench=compress,ijpeg
+//	GET  /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size")
+	cacheEntries := flag.Int("cache-entries", engine.DefaultCacheEntries, "artifact-cache capacity (entries)")
+	flag.Parse()
+
+	if *parallel < 1 {
+		fmt.Fprintln(os.Stderr, "spmt-server: -parallel must be >= 1")
+		os.Exit(2)
+	}
+	eng := engine.New(engine.Options{Workers: *parallel, CacheEntries: *cacheEntries})
+	srv := server.New(eng)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Full-size figure sweeps are legitimately slow; no write
+		// timeout.
+	}
+	log.Printf("spmt-server: listening on %s (workers=%d, cache=%d entries)",
+		*addr, eng.Workers(), *cacheEntries)
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatalf("spmt-server: %v", err)
+	}
+}

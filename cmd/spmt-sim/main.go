@@ -37,7 +37,7 @@ func main() {
 	window := flag.Float64("window", 4, "misspeculation window factor for profile pairs")
 	flag.Parse()
 
-	size, err := parseSize(*sizeFlag)
+	size, err := workload.ParseSize(*sizeFlag)
 	check(err)
 	prog, err := spmt.Generate(*bench, size)
 	check(err)
@@ -96,18 +96,6 @@ func main() {
 		100*float64(res.BranchMispredicts)/float64(max64(res.Branches, 1)))
 	fmt.Printf("cache:                %d hits / %d misses\n", res.CacheHits, res.CacheMisses)
 	fmt.Printf("SVC:                  %d forwards, %d violations\n", res.SVCForwards, res.SVCViolations)
-}
-
-func parseSize(s string) (workload.SizeClass, error) {
-	switch s {
-	case "test":
-		return workload.SizeTest, nil
-	case "small":
-		return workload.SizeSmall, nil
-	case "full":
-		return workload.SizeFull, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }
 
 func parseCriterion(s string) (core.Criterion, error) {

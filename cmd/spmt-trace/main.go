@@ -31,7 +31,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print opcode/branch statistics")
 	flag.Parse()
 
-	size, err := parseSize(*sizeFlag)
+	size, err := spmt.ParseSize(*sizeFlag)
 	check(err)
 	prog, err := spmt.Generate(*bench, size)
 	check(err)
@@ -116,18 +116,6 @@ func pct(a, b int) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(b)
-}
-
-func parseSize(s string) (spmt.SizeClass, error) {
-	switch s {
-	case "test":
-		return spmt.SizeTest, nil
-	case "small":
-		return spmt.SizeSmall, nil
-	case "full":
-		return spmt.SizeFull, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }
 
 func check(err error) {

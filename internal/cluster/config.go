@@ -229,6 +229,13 @@ type Result struct {
 // PairID keys per-pair statistics.
 type PairID struct{ SP, CQIP uint32 }
 
+// MarshalText renders the key as "SP-CQIP" so Result (whose PairStats
+// map is keyed by PairID) serialises to JSON — the spmt-server API
+// returns Result bodies verbatim.
+func (id PairID) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("%d-%d", id.SP, id.CQIP)), nil
+}
+
 // PairStat aggregates one pair's dynamic behaviour.
 type PairStat struct {
 	Spawns        int64 // threads created

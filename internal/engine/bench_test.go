@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// suiteDAG mirrors the shape of experiment-suite construction: nBench
+// independent four-stage chains (generate → emulate → prune → reach),
+// each stage CPU-bound. It exercises exactly the path expt.NewSuite
+// takes through the engine.
+func suiteDAG(e *Engine, nBench, work int) error {
+	spin := func(seed uint64) uint64 {
+		x := seed
+		for i := 0; i < work; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		return x
+	}
+	stage := func(name string, deps ...Job) Job {
+		return Job{
+			Key:  name,
+			Deps: deps,
+			Run: func(ctx context.Context, dv []any) (any, error) {
+				var seed uint64 = 1
+				for _, d := range dv {
+					seed ^= d.(uint64)
+				}
+				return spin(seed), nil
+			},
+		}
+	}
+	errs := make([]error, nBench)
+	var wg sync.WaitGroup
+	for i := 0; i < nBench; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen := stage(fmt.Sprintf("gen/%d", i))
+			emu := stage(fmt.Sprintf("emu/%d", i), gen)
+			prune := stage(fmt.Sprintf("prune/%d", i), emu)
+			reach := stage(fmt.Sprintf("reach/%d", i), prune)
+			_, errs[i] = e.Exec(context.Background(), reach)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func benchmarkSuiteBuild(b *testing.B, workers int) {
+	const nBench, work = 8, 2_000_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Fresh engine each iteration: this measures cold construction,
+		// not cache hits.
+		if err := suiteDAG(New(Options{Workers: workers}), nBench, work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// On >= 2 cores the parallel build should beat the serial one by
+// roughly min(workers, nBench, cores).
+func BenchmarkSuiteBuildSerial(b *testing.B)     { benchmarkSuiteBuild(b, 1) }
+func BenchmarkSuiteBuildWorkers2(b *testing.B)   { benchmarkSuiteBuild(b, 2) }
+func BenchmarkSuiteBuildWorkers8(b *testing.B)   { benchmarkSuiteBuild(b, 8) }
+func BenchmarkSuiteBuildGOMAXPROCS(b *testing.B) { benchmarkSuiteBuild(b, 0) }
+
+func BenchmarkCacheHit(b *testing.B) {
+	e := New(Options{Workers: 1})
+	j := Job{Key: "warm", Run: func(ctx context.Context, deps []any) (any, error) { return 1, nil }}
+	if _, err := e.Exec(context.Background(), j); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(context.Background(), j); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Artifact cache: a thread-safe, content-keyed LRU memo for pipeline
+// outputs (programs, traces, pruned CFGs, reach matrices, spawn tables,
+// simulation results). Keys are produced by the job definitions from
+// everything that determines the artifact's content — program name,
+// size class, and a hash of the stage configuration — so a hit is
+// guaranteed to be byte-identical to a recomputation.
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+)
+
+// DefaultCacheEntries bounds the artifact cache when Options.CacheEntries
+// is zero. The full evaluation needs ~8 benchmarks × (5 pipeline stages +
+// ~5 tables + ~40 sim configs), so 4096 keeps every artifact of a full
+// figure sweep resident with generous headroom.
+const DefaultCacheEntries = 4096
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// Cache is the LRU artifact store shared by all workers of an Engine.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewCache returns an empty cache holding at most capacity entries
+// (capacity <= 0 selects DefaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the artifact stored under key, marking it most recently
+// used. The second result reports whether the key was present.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add stores an artifact, evicting the least recently used entries if
+// the cache is over capacity. Re-adding an existing key refreshes its
+// value and recency.
+func (c *Cache) Add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of resident artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// KeyHash folds arbitrary configuration values into a short stable hex
+// digest for use inside cache keys. Callers pass every parameter that
+// influences the artifact's content.
+func KeyHash(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v|", p)
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}

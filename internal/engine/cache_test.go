@@ -1,0 +1,70 @@
+package engine
+
+import "testing"
+
+func TestCacheHitMissStats(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("get a = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a") // a is now most recently used
+	c.Add("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction, want LRU evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+}
+
+func TestCacheReAddRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", 1)
+	c.Add("a", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Errorf("a = %v, want refreshed value 2", v)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(0)
+	if got := c.Stats().Capacity; got != DefaultCacheEntries {
+		t.Errorf("capacity = %d, want %d", got, DefaultCacheEntries)
+	}
+}
+
+func TestKeyHashStableAndDistinct(t *testing.T) {
+	a1 := KeyHash("coverage", 0.9, "nodes", 256)
+	a2 := KeyHash("coverage", 0.9, "nodes", 256)
+	b := KeyHash("coverage", 0.95, "nodes", 256)
+	if a1 != a2 {
+		t.Errorf("hash not stable: %s vs %s", a1, a2)
+	}
+	if a1 == b {
+		t.Errorf("distinct configs collide: %s", a1)
+	}
+}

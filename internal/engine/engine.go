@@ -1,0 +1,216 @@
+// Package engine is the concurrent job-execution engine behind the
+// experiment suite and the spmt-server HTTP service. It models the
+// analysis pipeline (generate → emulate → prune CFG → reach →
+// select/heuristic tables → simulate) as keyed jobs with dependencies
+// and runs them on a bounded worker pool, deduplicating in-flight work
+// singleflight-style and memoizing completed artifacts in a
+// content-keyed LRU cache.
+//
+// Every job is a pure function of its dependency outputs, so execution
+// is deterministic: a run with 8 workers produces results identical to
+// a serial run, only faster. The worker-pool slot is held only while a
+// job's Run function executes — never while waiting on dependencies or
+// on another caller's in-flight computation — so arbitrarily deep
+// dependency chains cannot deadlock the pool.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one keyed unit of work. Deps are executed (or fetched from
+// cache) before Run is invoked; their outputs are passed to Run in
+// declaration order. A Job with an empty Key is never cached or
+// deduplicated — it always runs.
+type Job struct {
+	// Key is the content key: it must encode everything that
+	// determines the output (program, size class, config hash).
+	Key string
+	// Deps are resolved concurrently before Run.
+	Deps []Job
+	// Run computes the artifact. deps[i] is the output of Deps[i].
+	Run func(ctx context.Context, deps []any) (any, error)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent Run invocations (<= 0 selects
+	// runtime.GOMAXPROCS(0)). Workers == 1 gives serial execution.
+	Workers int
+	// CacheEntries bounds the artifact cache (<= 0 selects
+	// DefaultCacheEntries).
+	CacheEntries int
+}
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	Cache CacheStats `json:"cache"`
+	// Executed counts Run invocations (cache misses that were not
+	// deduplicated onto another caller's in-flight run).
+	Executed uint64 `json:"executed"`
+	// Deduped counts calls that joined an in-flight computation of the
+	// same key instead of running it again.
+	Deduped uint64 `json:"deduped"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Engine runs jobs on a bounded worker pool over a shared artifact
+// cache. It is safe for concurrent use; a single Engine is meant to be
+// shared by every suite and server request in the process so they hit
+// each other's warm artifacts.
+type Engine struct {
+	slots    chan struct{}
+	cache    *Cache
+	mu       sync.Mutex
+	inflight map[string]*call
+	executed atomic.Uint64
+	deduped  atomic.Uint64
+}
+
+// New builds an Engine.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		slots:    make(chan struct{}, w),
+		cache:    NewCache(opts.CacheEntries),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return cap(e.slots) }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Cache:    e.cache.Stats(),
+		Executed: e.executed.Load(),
+		Deduped:  e.deduped.Load(),
+		Workers:  cap(e.slots),
+	}
+}
+
+// Exec resolves a job: cache hit, join of an identical in-flight
+// computation, or a fresh run on the worker pool (dependencies first,
+// concurrently). The error of a failed run is propagated to every
+// joined caller; failures are never cached, so a later Exec retries.
+func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
+	if j.Key != "" {
+		if v, ok := e.cache.Get(j.Key); ok {
+			return v, nil
+		}
+		// Singleflight: join an identical in-flight computation.
+		e.mu.Lock()
+		if c, ok := e.inflight[j.Key]; ok {
+			e.mu.Unlock()
+			e.deduped.Add(1)
+			select {
+			case <-c.done:
+				if c.err != nil && ctx.Err() == nil &&
+					(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+					// The leader was cancelled under its own context;
+					// retry under ours rather than surfacing a foreign
+					// cancellation.
+					return e.Exec(ctx, j)
+				}
+				return c.val, c.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		e.inflight[j.Key] = c
+		e.mu.Unlock()
+
+		completed := false
+		defer func() {
+			if !completed {
+				// j.Run panicked. Record an error so joined callers
+				// unblock and the key is not wedged forever, then let
+				// the panic propagate to our own caller.
+				c.err = fmt.Errorf("engine: job %q panicked", j.Key)
+			}
+			if c.err == nil {
+				e.cache.Add(j.Key, c.val)
+			}
+			e.mu.Lock()
+			delete(e.inflight, j.Key)
+			e.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = e.run(ctx, j)
+		completed = true
+		return c.val, c.err
+	}
+	return e.run(ctx, j)
+}
+
+// run resolves dependencies and executes j.Run inside a worker slot.
+func (e *Engine) run(ctx context.Context, j Job) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deps, err := e.resolveDeps(ctx, j.Deps)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.slots }()
+	e.executed.Add(1)
+	v, err := j.Run(ctx, deps)
+	if err != nil {
+		return nil, fmt.Errorf("engine: job %q: %w", j.Key, err)
+	}
+	return v, nil
+}
+
+// resolveDeps executes the dependency jobs concurrently and returns
+// their outputs in declaration order.
+func (e *Engine) resolveDeps(ctx context.Context, deps []Job) ([]any, error) {
+	switch len(deps) {
+	case 0:
+		return nil, nil
+	case 1:
+		v, err := e.Exec(ctx, deps[0])
+		if err != nil {
+			return nil, err
+		}
+		return []any{v}, nil
+	}
+	vals := make([]any, len(deps))
+	errs := make([]error, len(deps))
+	var wg sync.WaitGroup
+	for i, d := range deps {
+		wg.Add(1)
+		go func(i int, d Job) {
+			defer wg.Done()
+			vals[i], errs[i] = e.Exec(ctx, d)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}

@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// renderAll runs every figure and returns the concatenated rendered
+// tables — the exact bytes the CLI would print.
+func renderAll(t testing.TB, s *Suite) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, id := range FigureIDs() {
+		tab, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := tab.Render(&buf); err != nil {
+			t.Fatalf("%s render: %v", id, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelRunMatchesSerial is the engine's determinism acceptance
+// test: a full figure sweep on an 8-worker engine must be byte-identical
+// to the serial baseline.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep")
+	}
+	names := []string{"compress", "ijpeg"}
+	serialSuite, err := NewSuite(workload.SizeTest, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelSuite, err := NewSuiteEngine(engine.New(engine.Options{Workers: 8}), workload.SizeTest, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := renderAll(t, serialSuite)
+	parallel := renderAll(t, parallelSuite)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestSuitesShareEngineArtifacts checks the cross-suite warm path the
+// server relies on: a second suite over the same engine must not
+// recompute any pipeline artefact.
+func TestSuitesShareEngineArtifacts(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2})
+	if _, err := NewSuiteEngine(eng, workload.SizeTest, []string{"compress"}); err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.Stats()
+	s2, err := NewSuiteEngine(eng, workload.SizeTest, []string{"compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := eng.Stats()
+	if warm.Executed != cold.Executed {
+		t.Errorf("second suite executed %d new jobs, want 0", warm.Executed-cold.Executed)
+	}
+	if warm.Cache.Hits <= cold.Cache.Hits {
+		t.Errorf("second suite recorded no cache hits (%+v -> %+v)", cold.Cache, warm.Cache)
+	}
+	if s2.Bench("compress") == nil {
+		t.Fatal("warm suite lost its bench")
+	}
+}
+
+func TestNewSuiteEngineNilEngine(t *testing.T) {
+	s, err := NewSuiteEngine(nil, workload.SizeTest, []string{"compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine() == nil {
+		t.Fatal("nil engine not defaulted")
+	}
+}
+
+func benchmarkSuiteBuild(b *testing.B, workers int) {
+	names := []string{"compress", "ijpeg", "li", "go"}
+	for i := 0; i < b.N; i++ {
+		// Fresh engine each iteration: cold construction cost.
+		eng := engine.New(engine.Options{Workers: workers})
+		if _, err := NewSuiteEngine(eng, workload.SizeTest, names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteBuildSerial(b *testing.B)   { benchmarkSuiteBuild(b, 1) }
+func BenchmarkSuiteBuildParallel(b *testing.B) { benchmarkSuiteBuild(b, 0) }

@@ -1,11 +1,14 @@
 // Package expt reproduces the paper's evaluation: one runner per figure
-// (Figures 2–12), sharing a per-benchmark pipeline cache (program →
-// trace → profile → pruned CFG → reach matrices → spawn tables) and a
-// simulation-result cache so figures that reuse configurations do not
-// re-simulate.
+// (Figures 2–12). All pipeline artefacts — program → trace → profile →
+// pruned CFG → reach matrices → spawn tables → simulation results — are
+// produced as keyed jobs on a shared engine.Engine, so suites built over
+// the same engine deduplicate work across benchmarks, figures, and
+// concurrent server requests, and a multi-worker run is bit-identical
+// to a serial one.
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,7 +16,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/engine"
 	"repro/internal/heuristic"
+	"repro/internal/isa"
 	"repro/internal/reach"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -31,7 +36,13 @@ const (
 // detection.
 const spawnWindowFactor = 4
 
-// Bench caches every pipeline artefact for one benchmark.
+// pipeHash fingerprints the fixed pipeline configuration so artifact
+// keys change if these constants do (content-keyed caching).
+var pipeHash = engine.KeyHash("coverage", pruneCoverage, "maxnodes", pruneMaxNodes, "window", spawnWindowFactor)
+
+// Bench caches every pipeline artefact for one benchmark. Spawn tables
+// and simulation results are memoized on the suite's engine, so a
+// Bench is safe to share across goroutines.
 type Bench struct {
 	Name    string
 	Trace   *trace.Trace
@@ -39,84 +50,159 @@ type Bench struct {
 	Graph   *cfg.Graph
 	Reach   *reach.Result
 
-	profTables map[core.Criterion]*core.Table
-	heurTable  *core.Table
+	size workload.SizeClass
+	eng  *engine.Engine
 }
 
-// Suite is the whole evaluation context.
+// Suite is the whole evaluation context. A Suite is a view over its
+// engine's artifact cache: two suites sharing an engine share every
+// artefact, and constructing a second suite over warm artifacts is
+// nearly free.
 type Suite struct {
 	Size    workload.SizeClass
 	Benches []*Bench
 
-	simCache map[string]*cluster.Result
+	eng *engine.Engine
 }
 
 // NewSuite builds the pipeline for the given benchmarks (nil = the full
-// SpecInt95-like suite) at the given size.
+// SpecInt95-like suite) at the given size, serially on a private
+// single-worker engine — the deterministic baseline the parallel path
+// is tested against.
 func NewSuite(size workload.SizeClass, names []string) (*Suite, error) {
+	return NewSuiteEngine(engine.New(engine.Options{Workers: 1}), size, names)
+}
+
+// NewSuiteEngine builds the pipeline on the given engine, constructing
+// the per-benchmark artefact chains concurrently up to the engine's
+// worker bound. A nil engine selects a GOMAXPROCS-sized one.
+func NewSuiteEngine(eng *engine.Engine, size workload.SizeClass, names []string) (*Suite, error) {
+	if eng == nil {
+		eng = engine.New(engine.Options{})
+	}
 	if names == nil {
 		names = workload.Benchmarks
 	}
-	s := &Suite{Size: size, simCache: make(map[string]*cluster.Result)}
-	for _, name := range names {
-		b, err := buildBench(name, size)
-		if err != nil {
-			return nil, fmt.Errorf("expt: %s: %w", name, err)
-		}
-		s.Benches = append(s.Benches, b)
+	s := &Suite{Size: size, eng: eng}
+	ctx := context.Background()
+	benches := make([]*Bench, len(names))
+	errs := make([]error, len(names))
+	done := make(chan int, len(names))
+	for i, name := range names {
+		go func(i int, name string) {
+			v, err := eng.Exec(ctx, s.benchJob(name))
+			if err != nil {
+				errs[i] = fmt.Errorf("expt: %s: %w", name, err)
+			} else {
+				benches[i] = v.(*Bench)
+			}
+			done <- i
+		}(i, name)
 	}
+	for range names {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.Benches = benches
 	return s, nil
 }
 
-func buildBench(name string, size workload.SizeClass) (*Bench, error) {
-	prog, err := workload.Generate(name, size)
-	if err != nil {
-		return nil, err
+// Engine returns the engine the suite's artefacts live on.
+func (s *Suite) Engine() *engine.Engine { return s.eng }
+
+// benchJob builds the four-stage artefact chain for one benchmark:
+// generate → emulate (trace+profile) → prune CFG → reach matrices.
+// Every stage is a pure function of its inputs, keyed by benchmark,
+// size class, and pipeline-config hash.
+func (s *Suite) benchJob(name string) engine.Job {
+	stem := name + "/" + s.Size.String()
+	progJob := engine.Job{
+		Key: "program/" + stem,
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			return workload.Generate(name, s.Size)
+		},
 	}
-	res, err := emu.Run(prog, emu.Config{CollectTrace: true})
-	if err != nil {
-		return nil, err
+	emuJob := engine.Job{
+		Key:  "emu/" + stem,
+		Deps: []engine.Job{progJob},
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			res, err := emu.Run(deps[0].(*isa.Program), emu.Config{CollectTrace: true})
+			if err != nil {
+				return nil, err
+			}
+			// Index before publishing: every later consumer reads the
+			// index concurrently.
+			res.Trace.BuildIndex()
+			return res, nil
+		},
 	}
-	g, err := cfg.Build(res.Profile).Prune(pruneCoverage, pruneMaxNodes)
-	if err != nil {
-		return nil, err
+	cfgJob := engine.Job{
+		Key:  "cfg/" + stem + "/" + pipeHash,
+		Deps: []engine.Job{emuJob},
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			return cfg.Build(deps[0].(*emu.Result).Profile).Prune(pruneCoverage, pruneMaxNodes)
+		},
 	}
-	r, err := reach.Compute(g)
-	if err != nil {
-		return nil, err
+	reachJob := engine.Job{
+		Key:  "reach/" + stem + "/" + pipeHash,
+		Deps: []engine.Job{cfgJob},
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			return reach.Compute(deps[0].(*cfg.Graph))
+		},
 	}
-	res.Trace.BuildIndex()
-	return &Bench{
-		Name:       name,
-		Trace:      res.Trace,
-		Profile:    res.Profile,
-		Graph:      g,
-		Reach:      r,
-		profTables: make(map[core.Criterion]*core.Table),
-	}, nil
+	return engine.Job{
+		Key:  "bench/" + stem + "/" + pipeHash,
+		Deps: []engine.Job{emuJob, cfgJob, reachJob},
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			res := deps[0].(*emu.Result)
+			return &Bench{
+				Name:    name,
+				Trace:   res.Trace,
+				Profile: res.Profile,
+				Graph:   deps[1].(*cfg.Graph),
+				Reach:   deps[2].(*reach.Result),
+				size:    s.Size,
+				eng:     s.eng,
+			}, nil
+		},
+	}
 }
 
-// ProfileTable returns (building on first use) the profile-based spawn
-// table under the given ordering criterion.
+// ProfileTable returns (building through the engine on first use) the
+// profile-based spawn table under the given ordering criterion.
 func (b *Bench) ProfileTable(crit core.Criterion) (*core.Table, error) {
-	if t, ok := b.profTables[crit]; ok {
-		return t, nil
-	}
-	t, err := core.Select(b.Profile, b.Graph, b.Reach, b.Trace, core.Config{Criterion: crit})
+	key := fmt.Sprintf("table/%s/%s/%s/%v", b.Name, b.size, pipeHash, crit)
+	v, err := b.eng.Exec(context.Background(), engine.Job{
+		Key: key,
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			return core.Select(b.Profile, b.Graph, b.Reach, b.Trace, core.Config{Criterion: crit})
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	b.profTables[crit] = t
-	return t, nil
+	return v.(*core.Table), nil
 }
 
-// HeuristicTable returns (building on first use) the combined
-// traditional-heuristics table.
+// HeuristicTable returns (building through the engine on first use) the
+// combined traditional-heuristics table.
 func (b *Bench) HeuristicTable() *core.Table {
-	if b.heurTable == nil {
-		b.heurTable = heuristic.Pairs(b.Trace.Program, b.Profile, b.Trace, heuristic.Combined, heuristic.Config{})
+	key := fmt.Sprintf("heur/%s/%s/%s", b.Name, b.size, pipeHash)
+	v, err := b.eng.Exec(context.Background(), engine.Job{
+		Key: key,
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			return heuristic.Pairs(b.Trace.Program, b.Profile, b.Trace, heuristic.Combined, heuristic.Config{}), nil
+		},
+	})
+	if err != nil {
+		// Background context and an error-free builder: unreachable.
+		panic(err)
 	}
-	return b.heurTable
+	return v.(*core.Table)
 }
 
 // SimSpec names a simulation configuration for caching.
@@ -137,8 +223,10 @@ func (sp SimSpec) key() string {
 		sp.Bench, sp.Policy, sp.TUs, sp.Predictor, sp.Overhead, sp.Removal, sp.Occur, sp.Reassign, sp.MinSize)
 }
 
-// table resolves the policy name to a spawn table (nil for "none").
-func (s *Suite) table(b *Bench, policy string) (*core.Table, error) {
+// Table resolves a policy name to its spawn table (nil for "none").
+// This is the single policy-name vocabulary; Policies lists the
+// accepted names.
+func (s *Suite) Table(b *Bench, policy string) (*core.Table, error) {
 	switch policy {
 	case "none":
 		return nil, nil
@@ -155,34 +243,40 @@ func (s *Suite) table(b *Bench, policy string) (*core.Table, error) {
 	}
 }
 
-// Sim runs (or fetches from cache) one simulation.
+// Policies lists the spawn-policy names Sim accepts.
+func Policies() []string {
+	return []string{"none", "profile", "heuristics", "profile-indep", "profile-pred"}
+}
+
+// Sim runs (or fetches from the engine's artifact cache) one
+// simulation. Identical SimSpecs return the identical *cluster.Result.
 func (s *Suite) Sim(b *Bench, sp SimSpec) (*cluster.Result, error) {
 	sp.Bench = b.Name
-	key := sp.key()
-	if r, ok := s.simCache[key]; ok {
-		return r, nil
-	}
-	tab, err := s.table(b, sp.Policy)
+	tab, err := s.Table(b, sp.Policy)
 	if err != nil {
 		return nil, err
 	}
-	cfgSim := cluster.Config{
-		TUs:                sp.TUs,
-		Pairs:              tab,
-		Predictor:          sp.Predictor,
-		SpawnOverhead:      sp.Overhead,
-		RemovalCycles:      sp.Removal,
-		RemovalOccurrences: sp.Occur,
-		Reassign:           sp.Reassign,
-		MinThreadSize:      sp.MinSize,
-		SpawnWindowFactor:  spawnWindowFactor,
-	}
-	r, err := cluster.Simulate(b.Trace, cfgSim)
+	key := fmt.Sprintf("sim/%s/%s/%s", s.Size, pipeHash, sp.key())
+	v, err := s.eng.Exec(context.Background(), engine.Job{
+		Key: key,
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			return cluster.Simulate(b.Trace, cluster.Config{
+				TUs:                sp.TUs,
+				Pairs:              tab,
+				Predictor:          sp.Predictor,
+				SpawnOverhead:      sp.Overhead,
+				RemovalCycles:      sp.Removal,
+				RemovalOccurrences: sp.Occur,
+				Reassign:           sp.Reassign,
+				MinThreadSize:      sp.MinSize,
+				SpawnWindowFactor:  spawnWindowFactor,
+			})
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("expt: %s: %w", key, err)
 	}
-	s.simCache[key] = r
-	return r, nil
+	return v.(*cluster.Result), nil
 }
 
 // Baseline returns the single-threaded cycle count for a benchmark.

@@ -1,0 +1,390 @@
+// Package server implements the spmt-server HTTP API: the paper's
+// analysis pipeline and Clustered SpMT simulator exposed as a JSON
+// service. Every endpoint resolves its work through one shared
+// engine.Engine, so concurrent clients deduplicate in-flight
+// computations and repeat requests are served from the content-keyed
+// artifact cache (observable via /v1/stats).
+//
+// Endpoints:
+//
+//	POST /v1/analyze      {"bench","size"}            → pipeline artefact summary
+//	POST /v1/pairs        {"bench","size","policy"}   → spawn-pair table
+//	POST /v1/simulate     {"bench","size","policy",…} → simulation result
+//	GET  /v1/figures/{id} ?size=test&bench=a,b        → one paper figure as JSON
+//	GET  /v1/stats                                    → engine/cache counters
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/expt"
+	"repro/internal/workload"
+)
+
+// maxBodyBytes bounds request bodies; every request here is a small
+// JSON document.
+const maxBodyBytes = 1 << 20
+
+// Server shares one engine across all requests.
+type Server struct {
+	eng      *engine.Engine
+	requests atomic.Uint64
+}
+
+// New builds a Server over the given engine (nil selects a
+// GOMAXPROCS-sized engine with the default cache).
+func New(eng *engine.Engine) *Server {
+	if eng == nil {
+		eng = engine.New(engine.Options{})
+	}
+	return &Server{eng: eng}
+}
+
+// Engine returns the server's engine (for tests and embedding).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/pairs", s.handlePairs)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers already sent
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// parseSize maps the wire size name (default "test" — the responsive
+// class; pass "small" or "full" explicitly for paper-scale runs).
+func parseSize(s string) (workload.SizeClass, error) {
+	if s == "" {
+		return workload.SizeTest, nil
+	}
+	return workload.ParseSize(s)
+}
+
+func validBench(name string) error {
+	for _, b := range workload.Benchmarks {
+		if b == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown benchmark %q (have %v)", name, workload.Benchmarks)
+}
+
+func parsePredictor(s string) (cluster.PredictorKind, error) {
+	switch s {
+	case "", "perfect":
+		return cluster.Perfect, nil
+	case "stride":
+		return cluster.Stride, nil
+	case "context":
+		return cluster.Context, nil
+	case "last-value":
+		return cluster.LastValue, nil
+	}
+	return 0, fmt.Errorf("unknown predictor %q (want perfect, stride, context, or last-value)", s)
+}
+
+// bench resolves one benchmark's artefact chain through the engine: a
+// warm request touches only the cache.
+func (s *Server) bench(name, size string) (*expt.Suite, *expt.Bench, error) {
+	if err := validBench(name); err != nil {
+		return nil, nil, err
+	}
+	sz, err := parseSize(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	suite, err := expt.NewSuiteEngine(s.eng, sz, []string{name})
+	if err != nil {
+		return nil, nil, err
+	}
+	return suite, suite.Bench(name), nil
+}
+
+type analyzeRequest struct {
+	Bench string `json:"bench"`
+	Size  string `json:"size"`
+}
+
+type analyzeResponse struct {
+	Bench       string  `json:"bench"`
+	Size        string  `json:"size"`
+	ProgramLen  int     `json:"program_len"`
+	TraceEvents int     `json:"trace_events"`
+	CFGNodes    int     `json:"cfg_nodes"`
+	Coverage    float64 `json:"coverage"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	suite, b, err := s.bench(req.Bench, req.Size)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Bench:       b.Name,
+		Size:        suite.Size.String(),
+		ProgramLen:  b.Trace.Program.Len(),
+		TraceEvents: b.Trace.Len(),
+		CFGNodes:    len(b.Graph.Nodes),
+		Coverage:    b.Graph.Coverage,
+	})
+}
+
+type pairsRequest struct {
+	Bench  string `json:"bench"`
+	Size   string `json:"size"`
+	Policy string `json:"policy"` // default "profile"
+}
+
+type pairJSON struct {
+	SP      uint32  `json:"sp"`
+	CQIP    uint32  `json:"cqip"`
+	Kind    string  `json:"kind"`
+	Prob    float64 `json:"prob"`
+	Dist    float64 `json:"dist"`
+	Score   float64 `json:"score"`
+	LiveIns int     `json:"live_ins"`
+}
+
+type pairsResponse struct {
+	Bench           string     `json:"bench"`
+	Size            string     `json:"size"`
+	Policy          string     `json:"policy"`
+	TotalCandidates int        `json:"total_candidates"`
+	Selected        int        `json:"selected"`
+	Pairs           []pairJSON `json:"pairs"`
+}
+
+// validPolicy reports whether expt accepts the policy name.
+// withPairs additionally excludes "none", which selects no table.
+func validPolicy(policy string, withPairs bool) error {
+	if policy == "none" && withPairs {
+		withTable := slices.DeleteFunc(expt.Policies(), func(p string) bool { return p == "none" })
+		return fmt.Errorf(`policy "none" selects no spawn pairs (want one of %v)`, withTable)
+	}
+	if slices.Contains(expt.Policies(), policy) {
+		return nil
+	}
+	return fmt.Errorf("unknown policy %q (want one of %v)", policy, expt.Policies())
+}
+
+func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
+	var req pairsRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = "profile"
+	}
+	if err := validPolicy(req.Policy, true); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	suite, b, err := s.bench(req.Bench, req.Size)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tab, err := suite.Table(b, req.Policy)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := pairsResponse{
+		Bench:           b.Name,
+		Size:            suite.Size.String(),
+		Policy:          req.Policy,
+		TotalCandidates: tab.TotalCandidates,
+		Selected:        tab.Len(),
+		Pairs:           make([]pairJSON, 0, tab.Len()),
+	}
+	for _, p := range tab.Primary {
+		resp.Pairs = append(resp.Pairs, pairJSON{
+			SP: p.SP, CQIP: p.CQIP, Kind: p.Kind.String(),
+			Prob: p.Prob, Dist: p.Dist, Score: p.Score, LiveIns: len(p.LiveIns),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type simulateRequest struct {
+	Bench       string `json:"bench"`
+	Size        string `json:"size"`
+	Policy      string `json:"policy"`    // default "profile"
+	TUs         int    `json:"tus"`       // default 16
+	Predictor   string `json:"predictor"` // default "perfect"
+	Overhead    int64  `json:"overhead"`
+	Removal     int64  `json:"removal"`
+	Occurrences int    `json:"occurrences"`
+	Reassign    bool   `json:"reassign"`
+	MinSize     int    `json:"min_size"`
+}
+
+type simulateResponse struct {
+	Bench  string          `json:"bench"`
+	Size   string          `json:"size"`
+	Policy string          `json:"policy"`
+	TUs    int             `json:"tus"`
+	Result *cluster.Result `json:"result"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = "profile"
+	}
+	if req.TUs == 0 {
+		req.TUs = 16
+	}
+	if err := validPolicy(req.Policy, false); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TUs < 1 || req.Overhead < 0 || req.Removal < 0 || req.Occurrences < 0 || req.MinSize < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("tus must be >= 1 and overhead/removal/occurrences/min_size must be >= 0"))
+		return
+	}
+	pred, err := parsePredictor(req.Predictor)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	suite, b, err := s.bench(req.Bench, req.Size)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := suite.Sim(b, expt.SimSpec{
+		Policy:    req.Policy,
+		TUs:       req.TUs,
+		Predictor: pred,
+		Overhead:  req.Overhead,
+		Removal:   req.Removal,
+		Occur:     req.Occurrences,
+		Reassign:  req.Reassign,
+		MinSize:   req.MinSize,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Bench: b.Name, Size: suite.Size.String(), Policy: req.Policy, TUs: req.TUs, Result: res,
+	})
+}
+
+type figureResponse struct {
+	ID      string     `json:"id"`
+	Size    string     `json:"size"`
+	Benches []string   `json:"benches"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Note    string     `json:"note,omitempty"`
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !slices.Contains(expt.FigureIDs(), id) {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown figure %q (have %v)", id, expt.FigureIDs()))
+		return
+	}
+	sz, err := parseSize(r.URL.Query().Get("size"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var names []string
+	if bq := r.URL.Query().Get("bench"); bq != "" {
+		names = strings.Split(bq, ",")
+		for _, n := range names {
+			if err := validBench(n); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+	}
+	suite, err := expt.NewSuiteEngine(s.eng, sz, names)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	tab, err := suite.Run(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, figureResponse{
+		ID:      id,
+		Size:    suite.Size.String(),
+		Benches: suite.Names(),
+		Title:   tab.Title,
+		Columns: tab.Columns,
+		Rows:    tab.Rows,
+		Note:    tab.Note,
+	})
+}
+
+type statsResponse struct {
+	Engine   engine.Stats `json:"engine"`
+	Requests uint64       `json:"requests"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Engine:   s.eng.Stats(),
+		Requests: s.requests.Load(),
+	})
+}

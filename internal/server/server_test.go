@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(engine.New(engine.Options{Workers: 2}))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp
+}
+
+func stats(t *testing.T, ts *httptest.Server) statsResponse {
+	t.Helper()
+	var st statsResponse
+	if resp := getJSON(t, ts.URL+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	return st
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", `{"bench":"compress","size":"test"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var ar analyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if ar.Bench != "compress" || ar.TraceEvents == 0 || ar.CFGNodes == 0 {
+		t.Errorf("implausible analyze response: %+v", ar)
+	}
+	if ar.Coverage < 0.5 || ar.Coverage > 1 {
+		t.Errorf("coverage = %v", ar.Coverage)
+	}
+}
+
+func TestPairsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/pairs", `{"bench":"ijpeg","size":"test"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var pr pairsResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if pr.Policy != "profile" || pr.Selected == 0 || len(pr.Pairs) != pr.Selected {
+		t.Errorf("implausible pairs response: policy=%s selected=%d pairs=%d",
+			pr.Policy, pr.Selected, len(pr.Pairs))
+	}
+	for _, p := range pr.Pairs {
+		if p.Prob < 0 || p.Prob > 1 || p.Dist <= 0 {
+			t.Errorf("implausible pair %+v", p)
+		}
+	}
+}
+
+// TestSimulateServedFromCache is the acceptance test: a second
+// identical /v1/simulate request must be served from the artifact
+// cache, observable through the /v1/stats hit counters.
+func TestSimulateServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := `{"bench":"compress","size":"test","policy":"profile","tus":16}`
+
+	resp1, body1 := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp1.StatusCode, body1)
+	}
+	var sr simulateResponse
+	if err := json.Unmarshal(body1, &sr); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if sr.Result == nil || sr.Result.Cycles <= 0 {
+		t.Fatalf("implausible sim result: %+v", sr.Result)
+	}
+	cold := stats(t, ts)
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request status = %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("second identical request returned different body")
+	}
+	warm := stats(t, ts)
+
+	if warm.Engine.Cache.Hits <= cold.Engine.Cache.Hits {
+		t.Errorf("cache hits did not increase: %d -> %d",
+			cold.Engine.Cache.Hits, warm.Engine.Cache.Hits)
+	}
+	// The simulation itself must not have re-run.
+	if warm.Engine.Executed != cold.Engine.Executed {
+		t.Errorf("warm request executed %d new jobs, want 0",
+			warm.Engine.Executed-cold.Engine.Executed)
+	}
+	if warm.Requests <= cold.Requests {
+		t.Errorf("request counter stuck at %d", warm.Requests)
+	}
+}
+
+func TestFigureEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var fr figureResponse
+	resp := getJSON(t, ts.URL+"/v1/figures/fig3?size=test&bench=compress,ijpeg", &fr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if fr.ID != "fig3" || len(fr.Columns) == 0 || len(fr.Rows) == 0 {
+		t.Errorf("implausible figure response: %+v", fr)
+	}
+	// 2 benchmarks + the Hmean summary row.
+	if len(fr.Rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(fr.Rows))
+	}
+	if len(fr.Benches) != 2 {
+		t.Errorf("benches = %v", fr.Benches)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"unknown bench", "POST", "/v1/analyze", `{"bench":"nonesuch"}`, http.StatusBadRequest},
+		{"bad size", "POST", "/v1/analyze", `{"bench":"compress","size":"huge"}`, http.StatusBadRequest},
+		{"bad json", "POST", "/v1/analyze", `{`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/analyze", `{"wat":1}`, http.StatusBadRequest},
+		{"bad policy", "POST", "/v1/pairs", `{"bench":"compress","policy":"wat"}`, http.StatusBadRequest},
+		{"none policy has no pairs", "POST", "/v1/pairs", `{"bench":"compress","policy":"none"}`, http.StatusBadRequest},
+		{"bad predictor", "POST", "/v1/simulate", `{"bench":"compress","predictor":"psychic"}`, http.StatusBadRequest},
+		{"negative tus", "POST", "/v1/simulate", `{"bench":"compress","tus":-1}`, http.StatusBadRequest},
+		{"negative overhead", "POST", "/v1/simulate", `{"bench":"compress","overhead":-8}`, http.StatusBadRequest},
+		{"bad sim policy", "POST", "/v1/simulate", `{"bench":"compress","policy":"wat"}`, http.StatusBadRequest},
+		{"unknown figure", "GET", "/v1/figures/fig99?bench=compress", "", http.StatusNotFound},
+		{"wrong method", "GET", "/v1/simulate", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			if tc.method == "POST" {
+				resp, err = http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+			} else {
+				resp, err = http.Get(ts.URL + tc.path)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+		})
+	}
+}
+
+// TestConcurrentClientsShareArtifacts hammers the server with identical
+// and overlapping requests; under -race this doubles as the server's
+// thread-safety test, and the singleflight/dedup counters prove clients
+// shared work rather than repeating it.
+func TestConcurrentClientsShareArtifacts(t *testing.T) {
+	srv, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			var resp *http.Response
+			switch i % 3 {
+			case 0:
+				resp, err = http.Post(ts.URL+"/v1/analyze", "application/json",
+					bytes.NewReader([]byte(`{"bench":"compress","size":"test"}`)))
+			case 1:
+				resp, err = http.Post(ts.URL+"/v1/simulate", "application/json",
+					bytes.NewReader([]byte(`{"bench":"compress","size":"test","tus":4}`)))
+			default:
+				resp, err = http.Get(ts.URL + "/v1/figures/fig2?size=test&bench=compress")
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := srv.Engine().Stats()
+	// 12 requests over one benchmark: the pipeline must have run once,
+	// with everything else served by cache hits or in-flight joins.
+	if st.Cache.Hits == 0 && st.Deduped == 0 {
+		t.Errorf("no sharing observed: %+v", st)
+	}
+	if got := fmt.Sprintf("%d", srv.requests.Load()); got != "12" {
+		t.Errorf("requests = %s, want 12", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -37,24 +38,27 @@ type Trace struct {
 	Events  []Event
 
 	// index maps PC -> sorted positions at which it executed. Built
-	// lazily by BuildIndex; required by NextOccurrence.
-	index map[uint32][]int32
+	// lazily by BuildIndex; required by NextOccurrence. indexOnce makes
+	// the build safe when the engine shares one *Trace across workers:
+	// concurrent BuildIndex calls synchronise on it, and its
+	// happens-before edge publishes the map to every caller.
+	indexOnce sync.Once
+	index     map[uint32][]int32
 }
 
 // Len returns the number of dynamic instructions.
 func (t *Trace) Len() int { return len(t.Events) }
 
 // BuildIndex constructs the PC → positions index used by NextOccurrence.
-// It is idempotent.
+// It is idempotent and safe for concurrent use.
 func (t *Trace) BuildIndex() {
-	if t.index != nil {
-		return
-	}
-	idx := make(map[uint32][]int32)
-	for i, e := range t.Events {
-		idx[e.PC] = append(idx[e.PC], int32(i))
-	}
-	t.index = idx
+	t.indexOnce.Do(func() {
+		idx := make(map[uint32][]int32)
+		for i, e := range t.Events {
+			idx[e.PC] = append(idx[e.PC], int32(i))
+		}
+		t.index = idx
+	})
 }
 
 // NextOccurrence returns the smallest trace position strictly greater
@@ -152,5 +156,6 @@ func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
 	}
 	t.Events = events
 	t.index = nil
+	t.indexOnce = sync.Once{}
 	return read, nil
 }

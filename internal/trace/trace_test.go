@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -190,5 +191,42 @@ func TestRegIndexMatchesReplay(t *testing.T) {
 			}
 		}
 		regs[e.Dst] = e.Val
+	}
+}
+
+// TestBuildIndexConcurrent exercises the sync.Once guard: the engine
+// shares one *Trace across workers that all call BuildIndex before
+// querying. Run with -race.
+func TestBuildIndexConcurrent(t *testing.T) {
+	tr := tinyTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.BuildIndex()
+			if got := tr.NextOccurrence(1, 0); got != 1 {
+				t.Errorf("NextOccurrence(1, 0) = %d, want 1", got)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestReadFromResetsIndex(t *testing.T) {
+	tr := tinyTrace()
+	tr.BuildIndex()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := tinyTrace()
+	dst.BuildIndex()
+	if _, err := dst.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst.BuildIndex() // must rebuild despite the earlier Once firing
+	if got := dst.NextOccurrence(2, 0); got != 2 {
+		t.Errorf("NextOccurrence(2, 0) = %d, want 2", got)
 	}
 }

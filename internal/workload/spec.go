@@ -46,6 +46,20 @@ func (s SizeClass) String() string {
 	}
 }
 
+// ParseSize parses a size-class name ("test", "small", "full") as the
+// CLI tools and the server accept it.
+func ParseSize(s string) (SizeClass, error) {
+	switch s {
+	case "test":
+		return SizeTest, nil
+	case "small":
+		return SizeSmall, nil
+	case "full":
+		return SizeFull, nil
+	}
+	return 0, fmt.Errorf("workload: unknown size %q (want test, small, or full)", s)
+}
+
 // Spec is a benchmark personality. All probabilities are in [0,1].
 type Spec struct {
 	Name string

@@ -36,6 +36,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/engine"
 	"repro/internal/heuristic"
 	"repro/internal/isa"
 	"repro/internal/reach"
@@ -104,6 +105,30 @@ const (
 
 // Benchmarks lists the synthetic SpecInt95-like suite.
 var Benchmarks = workload.Benchmarks
+
+// ParseSize parses a size-class name ("test", "small", "full").
+func ParseSize(s string) (SizeClass, error) { return workload.ParseSize(s) }
+
+// Concurrent job-execution engine (re-exported from internal/engine).
+// An Engine runs keyed, dependency-ordered jobs on a bounded worker
+// pool, deduplicates identical in-flight work, and memoizes artifacts
+// in a content-keyed LRU cache. One Engine is meant to be shared by
+// everything in the process — experiment suites, server handlers,
+// ad-hoc analyses — so they hit each other's warm artifacts.
+type (
+	// Engine is the concurrent job executor.
+	Engine = engine.Engine
+	// EngineOptions configures worker-pool size and cache capacity.
+	EngineOptions = engine.Options
+	// EngineJob is one keyed unit of work with dependencies.
+	EngineJob = engine.Job
+	// EngineStats snapshots cache and dedup counters.
+	EngineStats = engine.Stats
+)
+
+// NewEngine builds a concurrent job engine. The zero Options select a
+// GOMAXPROCS-sized worker pool and the default artifact-cache capacity.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 
 // Generate builds a named benchmark program.
 func Generate(name string, size SizeClass) (*Program, error) {

@@ -1,6 +1,7 @@
 package spmt_test
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -77,5 +78,40 @@ func TestBenchmarksListStable(t *testing.T) {
 		if spmt.Benchmarks[i] != want[i] {
 			t.Fatalf("benchmarks = %v", spmt.Benchmarks)
 		}
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	eng := spmt.NewEngine(spmt.EngineOptions{Workers: 2})
+	if eng.Workers() != 2 {
+		t.Fatalf("workers = %d, want 2", eng.Workers())
+	}
+	job := spmt.EngineJob{
+		Key: "facade/answer",
+		Run: func(ctx context.Context, deps []any) (any, error) { return 42, nil },
+	}
+	for i := 0; i < 2; i++ {
+		v, err := eng.Exec(context.Background(), job)
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("exec %d: v=%v err=%v", i, v, err)
+		}
+	}
+	st := eng.Stats()
+	if st.Executed != 1 || st.Cache.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 executed / 1 hit", st)
+	}
+}
+
+func TestParseSizeFacade(t *testing.T) {
+	for name, want := range map[string]spmt.SizeClass{
+		"test": spmt.SizeTest, "small": spmt.SizeSmall, "full": spmt.SizeFull,
+	} {
+		got, err := spmt.ParseSize(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := spmt.ParseSize("huge"); err == nil {
+		t.Error("ParseSize accepted garbage")
 	}
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	spmt-server [-addr :8080] [-parallel N] [-cache-entries N]
+//	spmt-server [-addr :8080] [-parallel N] [-cache-entries N] [-cache-bytes 512MB]
 //
 // Endpoints:
 //
@@ -34,13 +34,22 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size")
 	cacheEntries := flag.Int("cache-entries", engine.DefaultCacheEntries, "artifact-cache capacity (entries)")
+	cacheBytes := flag.String("cache-bytes", "", "artifact-cache resident-byte budget, e.g. 512MB (empty = unbounded)")
 	flag.Parse()
 
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "spmt-server: -parallel must be >= 1")
 		os.Exit(2)
 	}
-	eng := engine.New(engine.Options{Workers: *parallel, CacheEntries: *cacheEntries})
+	var maxBytes int64
+	if *cacheBytes != "" {
+		var err error
+		if maxBytes, err = engine.ParseBytes(*cacheBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "spmt-server: -cache-bytes: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	eng := engine.New(engine.Options{Workers: *parallel, CacheEntries: *cacheEntries, CacheBytes: maxBytes})
 	srv := server.New(eng)
 
 	hs := &http.Server{
@@ -50,9 +59,16 @@ func main() {
 		// Full-size figure sweeps are legitimately slow; no write
 		// timeout.
 	}
-	log.Printf("spmt-server: listening on %s (workers=%d, cache=%d entries)",
-		*addr, eng.Workers(), *cacheEntries)
+	log.Printf("spmt-server: listening on %s (workers=%d, cache=%d entries, cache-bytes=%s)",
+		*addr, eng.Workers(), *cacheEntries, orUnbounded(*cacheBytes))
 	if err := hs.ListenAndServe(); err != nil {
 		log.Fatalf("spmt-server: %v", err)
 	}
+}
+
+func orUnbounded(s string) string {
+	if s == "" {
+		return "unbounded"
+	}
+	return s
 }

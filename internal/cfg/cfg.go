@@ -74,6 +74,16 @@ func Build(pr *emu.Profile) *Graph {
 	return g
 }
 
+// ApproxBytes reports the graph's approximate resident size for engine
+// cache accounting (24B per node, 16B per edge, ~32B per ByPC entry).
+func (g *Graph) ApproxBytes() int64 {
+	edges := 0
+	for _, s := range g.Succ {
+		edges += len(s)
+	}
+	return int64(len(g.Nodes))*24 + int64(edges)*16 + int64(len(g.ByPC))*32 + 96
+}
+
 // TotalInstrs returns the dynamic instructions attributed to retained
 // nodes.
 func (g *Graph) TotalInstrs() float64 {

@@ -226,6 +226,13 @@ type Result struct {
 	PairStats map[PairID]*PairStat
 }
 
+// ApproxBytes reports the result's approximate resident size for
+// engine cache accounting: a fixed block of counters plus the optional
+// per-pair statistics map.
+func (r *Result) ApproxBytes() int64 {
+	return 512 + int64(len(r.PairStats))*96
+}
+
 // PairID keys per-pair statistics.
 type PairID struct{ SP, CQIP uint32 }
 

@@ -139,6 +139,16 @@ type Table struct {
 // Pairs").
 func (t *Table) Len() int { return len(t.Primary) }
 
+// ApproxBytes reports the table's approximate resident size for engine
+// cache accounting (~160B per pair including live-in slices).
+func (t *Table) ApproxBytes() int64 {
+	pairs := len(t.Primary)
+	for _, alts := range t.Alternates {
+		pairs += len(alts)
+	}
+	return int64(pairs)*160 + int64(len(t.Alternates))*32 + 96
+}
+
 // BySP returns the primary pair for an SP, or nil.
 func (t *Table) BySP(pc uint32) *Pair {
 	i := sort.Search(len(t.Primary), func(i int) bool { return t.Primary[i].SP >= pc })

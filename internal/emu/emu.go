@@ -37,6 +37,19 @@ type Result struct {
 	Instrs  int // dynamic instruction count
 }
 
+// ApproxBytes reports the run's approximate resident size (trace plus
+// profile) for engine cache accounting.
+func (r *Result) ApproxBytes() int64 {
+	var b int64 = 64
+	if r.Trace != nil {
+		b += r.Trace.ApproxBytes()
+	}
+	if r.Profile != nil {
+		b += r.Profile.ApproxBytes()
+	}
+	return b
+}
+
 type callFrame struct {
 	retPC    uint32
 	callPC   uint32

@@ -49,6 +49,17 @@ type Profile struct {
 	leaderSet []bool // indexed by PC, true when the PC starts a block
 }
 
+// ApproxBytes reports the profile's approximate resident size for
+// engine cache accounting: the block/edge/call-site maps dominate
+// (~32–48B per entry including bucket overhead).
+func (pr *Profile) ApproxBytes() int64 {
+	return int64(len(pr.Leaders))*4 +
+		int64(len(pr.BlockLen)+len(pr.BlockCount))*32 +
+		int64(len(pr.EdgeCount))*48 +
+		int64(len(pr.CallSites))*48 +
+		int64(len(pr.leaderSet)) + 128
+}
+
 // ComputeLeaders returns the sorted basic-block leader PCs of a program:
 // the entry, every control-flow target, and every fall-through successor
 // of a control instruction.

@@ -4,13 +4,21 @@
 // everything that determines the artifact's content — program name,
 // size class, and a hash of the stage configuration — so a hit is
 // guaranteed to be byte-identical to a recomputation.
+//
+// Eviction is cost-aware: artifacts that implement Sizer report their
+// approximate resident bytes (traces are orders of magnitude heavier
+// than tables), and the cache bounds total resident bytes in addition
+// to the entry count, evicting least-recently-used entries until both
+// budgets hold.
 package engine
 
 import (
 	"container/list"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -20,6 +28,27 @@ import (
 // figure sweep resident with generous headroom.
 const DefaultCacheEntries = 4096
 
+// Sizer is implemented by artifacts that can report their approximate
+// resident size. The cache uses it to weight LRU entries so a byte
+// budget evicts one multi-megabyte trace instead of a thousand tables.
+type Sizer interface {
+	ApproxBytes() int64
+}
+
+// defaultEntryBytes is charged for artifacts that do not implement
+// Sizer (small results, scalars).
+const defaultEntryBytes = 1 << 10
+
+// sizeOf returns the byte cost charged for an artifact.
+func sizeOf(v any) int64 {
+	if s, ok := v.(Sizer); ok {
+		if b := s.ApproxBytes(); b > 0 {
+			return b
+		}
+	}
+	return defaultEntryBytes
+}
+
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
@@ -27,17 +56,24 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
+	// BytesResident is the approximate resident size of all entries;
+	// BytesCapacity is the byte budget (0 = unbounded).
+	BytesResident int64 `json:"bytes_resident"`
+	BytesCapacity int64 `json:"bytes_capacity,omitempty"`
 }
 
 type cacheEntry struct {
-	key string
-	val any
+	key   string
+	val   any
+	bytes int64
 }
 
 // Cache is the LRU artifact store shared by all workers of an Engine.
 type Cache struct {
 	mu        sync.Mutex
 	capacity  int
+	maxBytes  int64 // 0 = unbounded
+	bytes     int64
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
 	hits      uint64
@@ -46,13 +82,24 @@ type Cache struct {
 }
 
 // NewCache returns an empty cache holding at most capacity entries
-// (capacity <= 0 selects DefaultCacheEntries).
-func NewCache(capacity int) *Cache {
+// (capacity <= 0 selects DefaultCacheEntries) with no byte bound.
+func NewCache(capacity int) *Cache { return NewCacheSized(capacity, 0) }
+
+// NewCacheSized returns an empty cache bounded by both an entry count
+// (capacity <= 0 selects DefaultCacheEntries) and an approximate
+// resident-byte budget (maxBytes <= 0 means unbounded). The most
+// recently used entry is always retained, even when it alone exceeds
+// the byte budget.
+func NewCacheSized(capacity int, maxBytes int64) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheEntries
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &Cache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 	}
@@ -73,22 +120,36 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Add stores an artifact, evicting the least recently used entries if
-// the cache is over capacity. Re-adding an existing key refreshes its
-// value and recency.
+// Add stores an artifact, evicting the least recently used entries
+// while the cache is over its entry or byte budget. Re-adding an
+// existing key refreshes its value, cost, and recency.
 func (c *Cache) Add(key string, val any) {
+	bytes := sizeOf(val)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		c.bytes += bytes - ent.bytes
+		ent.val, ent.bytes = val, bytes
 		c.ll.MoveToFront(el)
+		c.evict()
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-	for c.ll.Len() > c.capacity {
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, bytes: bytes})
+	c.bytes += bytes
+	c.evict()
+}
+
+// evict drops LRU entries until both budgets hold, always keeping the
+// most recently used entry. Callers must hold c.mu.
+func (c *Cache) evict() {
+	for c.ll.Len() > 1 &&
+		(c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		delete(c.items, ent.key)
+		c.bytes -= ent.bytes
 		c.evictions++
 	}
 }
@@ -100,16 +161,25 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
+// Bytes returns the approximate resident size of all entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Stats snapshots the hit/miss/eviction counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Capacity:  c.capacity,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Entries:       c.ll.Len(),
+		Capacity:      c.capacity,
+		BytesResident: c.bytes,
+		BytesCapacity: c.maxBytes,
 	}
 }
 
@@ -122,4 +192,36 @@ func KeyHash(parts ...any) string {
 		fmt.Fprintf(h, "%v|", p)
 	}
 	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// ParseBytes parses a human byte size ("64MB", "1.5gb", "8192") into
+// bytes. A bare number is bytes; suffixes B, KB, MB, GB, TB are powers
+// of 1024 and case-insensitive.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" {
+		return 0, fmt.Errorf("engine: empty byte size")
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "TB"):
+		mult, t = 1<<40, t[:len(t)-2]
+	case strings.HasSuffix(t, "GB"):
+		mult, t = 1<<30, t[:len(t)-2]
+	case strings.HasSuffix(t, "MB"):
+		mult, t = 1<<20, t[:len(t)-2]
+	case strings.HasSuffix(t, "KB"):
+		mult, t = 1<<10, t[:len(t)-2]
+	case strings.HasSuffix(t, "B"):
+		t = t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("engine: bad byte size %q", s)
+	}
+	b := v * float64(mult)
+	if b > math.MaxInt64 {
+		return 0, fmt.Errorf("engine: byte size %q overflows int64", s)
+	}
+	return int64(b), nil
 }

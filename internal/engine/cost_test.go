@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// sized is a test artifact with an explicit byte cost.
+type sized int64
+
+func (s sized) ApproxBytes() int64 { return int64(s) }
+
+func TestCacheByteWeightedEviction(t *testing.T) {
+	c := NewCacheSized(100, 1000)
+	c.Add("heavy", sized(600))
+	c.Add("light1", sized(100))
+	c.Add("light2", sized(100))
+	if got := c.Bytes(); got != 800 {
+		t.Fatalf("bytes = %d, want 800", got)
+	}
+	// Touch heavy so the lights are LRU, then push over budget: both
+	// lights must go (600+100+100+400 = 1200 → evict to 1000).
+	c.Get("heavy")
+	c.Add("big", sized(400))
+	if _, ok := c.Get("big"); !ok {
+		t.Error("most recent entry evicted")
+	}
+	if _, ok := c.Get("heavy"); !ok {
+		t.Error("recently used heavy entry evicted before LRU lights")
+	}
+	if _, ok := c.Get("light1"); ok {
+		t.Error("LRU light1 survived byte-budget eviction")
+	}
+	if _, ok := c.Get("light2"); ok {
+		t.Error("LRU light2 survived byte-budget eviction")
+	}
+	st := c.Stats()
+	if st.BytesResident != 1000 {
+		t.Errorf("bytes resident = %d, want 1000", st.BytesResident)
+	}
+	if st.BytesCapacity != 1000 {
+		t.Errorf("bytes capacity = %d, want 1000", st.BytesCapacity)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestCacheOversizedEntryRetained(t *testing.T) {
+	// A single entry larger than the budget must still be cached (the
+	// alternative is thrashing: recompute on every access).
+	c := NewCacheSized(10, 100)
+	c.Add("whale", sized(1000))
+	if _, ok := c.Get("whale"); !ok {
+		t.Fatal("oversized entry not retained")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDefaultCostForUnsizedValues(t *testing.T) {
+	c := NewCacheSized(10, 0)
+	c.Add("plain", 42)
+	if got := c.Bytes(); got != defaultEntryBytes {
+		t.Errorf("bytes = %d, want default %d", got, defaultEntryBytes)
+	}
+}
+
+func TestCacheReAddAdjustsBytes(t *testing.T) {
+	c := NewCacheSized(10, 0)
+	c.Add("k", sized(100))
+	c.Add("k", sized(300))
+	if got := c.Bytes(); got != 300 {
+		t.Errorf("bytes = %d, want 300 after re-add", got)
+	}
+}
+
+func TestEngineCacheBytesOption(t *testing.T) {
+	e := New(Options{Workers: 1, CacheBytes: 2048})
+	run := func(key string, cost int64) {
+		_, err := e.Exec(context.Background(), Job{
+			Key: key,
+			Run: func(ctx context.Context, deps []any) (any, error) { return sized(cost), nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run("trace/a", 2000)
+	run("trace/b", 2000)
+	st := e.Stats()
+	if st.Cache.BytesResident > 2048+2000 {
+		t.Errorf("bytes resident = %d, budget not applied", st.Cache.BytesResident)
+	}
+	if st.Cache.BytesCapacity != 2048 {
+		t.Errorf("bytes capacity = %d, want 2048", st.Cache.BytesCapacity)
+	}
+}
+
+func TestLatencyHistograms(t *testing.T) {
+	e := New(Options{Workers: 2})
+	ctx := context.Background()
+	for i, key := range []string{"sim/a", "sim/b", "reach/a", ""} {
+		_, err := e.Exec(ctx, Job{
+			Key: key,
+			Run: func(ctx context.Context, deps []any) (any, error) {
+				time.Sleep(time.Duration(i) * time.Millisecond)
+				return i, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat := e.Stats().Latency
+	if lat["sim"].Count != 2 {
+		t.Errorf("sim count = %d, want 2", lat["sim"].Count)
+	}
+	if lat["reach"].Count != 1 {
+		t.Errorf("reach count = %d, want 1", lat["reach"].Count)
+	}
+	if lat["adhoc"].Count != 1 {
+		t.Errorf("adhoc count = %d, want 1", lat["adhoc"].Count)
+	}
+	for kind, h := range lat {
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		if sum != h.Count {
+			t.Errorf("%s: bucket counts sum %d != count %d", kind, sum, h.Count)
+		}
+		if len(h.Counts) != len(h.BucketsMS)+1 {
+			t.Errorf("%s: %d counts for %d buckets", kind, len(h.Counts), len(h.BucketsMS))
+		}
+		if h.TotalMS < 0 || h.MaxMS < 0 {
+			t.Errorf("%s: negative latency %+v", kind, h)
+		}
+	}
+	// Cached re-exec must not record a new observation.
+	before := lat["sim"].Count
+	if _, err := e.Exec(ctx, Job{Key: "sim/a", Run: func(ctx context.Context, deps []any) (any, error) { return 0, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Latency["sim"].Count; got != before {
+		t.Errorf("cache hit recorded a latency observation (%d -> %d)", before, got)
+	}
+}
+
+func TestJobKind(t *testing.T) {
+	cases := map[string]string{
+		"":            "adhoc",
+		"sim/a/b":     "sim",
+		"reach/x":     "reach",
+		"nopathsep":   "nopathsep",
+		"/leadslash":  "",
+		"table/x/y/z": "table",
+	}
+	for key, want := range cases {
+		if got := JobKind(key); got != want {
+			t.Errorf("JobKind(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"0":      0,
+		"8192":   8192,
+		"64KB":   64 << 10,
+		"64kb":   64 << 10,
+		" 2 MB ": 2 << 20,
+		"1.5GB":  3 << 29, // 1.5 * 2^30
+		"1TB":    1 << 40,
+		"100B":   100,
+	}
+	for in, want := range good {
+		got, err := ParseBytes(in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-5", "12QB", "MB", "nan", "inf", "-inf", "1e30GB", "999999999999TB"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job is one keyed unit of work. Deps are executed (or fetched from
@@ -45,6 +46,11 @@ type Options struct {
 	// CacheEntries bounds the artifact cache (<= 0 selects
 	// DefaultCacheEntries).
 	CacheEntries int
+	// CacheBytes bounds the artifact cache's approximate resident
+	// bytes (<= 0 means unbounded). Artifacts implementing Sizer are
+	// charged their reported size; traces dominate, so a byte budget
+	// keeps memory flat where an entry count alone would not.
+	CacheBytes int64
 }
 
 // Stats is a point-in-time snapshot of engine activity.
@@ -58,6 +64,9 @@ type Stats struct {
 	Deduped uint64 `json:"deduped"`
 	// Workers is the pool size.
 	Workers int `json:"workers"`
+	// Latency holds per-job-kind Run-latency histograms, keyed by the
+	// leading segment of the job key ("emu", "reach", "sim", …).
+	Latency map[string]LatencyStats `json:"latency,omitempty"`
 }
 
 type call struct {
@@ -73,6 +82,7 @@ type call struct {
 type Engine struct {
 	slots    chan struct{}
 	cache    *Cache
+	latency  *latencyRecorder
 	mu       sync.Mutex
 	inflight map[string]*call
 	executed atomic.Uint64
@@ -87,7 +97,8 @@ func New(opts Options) *Engine {
 	}
 	return &Engine{
 		slots:    make(chan struct{}, w),
-		cache:    NewCache(opts.CacheEntries),
+		cache:    NewCacheSized(opts.CacheEntries, opts.CacheBytes),
+		latency:  newLatencyRecorder(),
 		inflight: make(map[string]*call),
 	}
 }
@@ -102,6 +113,7 @@ func (e *Engine) Stats() Stats {
 		Executed: e.executed.Load(),
 		Deduped:  e.deduped.Load(),
 		Workers:  cap(e.slots),
+		Latency:  e.latency.snapshot(),
 	}
 }
 
@@ -176,7 +188,9 @@ func (e *Engine) run(ctx context.Context, j Job) (any, error) {
 	}
 	defer func() { <-e.slots }()
 	e.executed.Add(1)
+	start := time.Now()
 	v, err := j.Run(ctx, deps)
+	e.latency.observe(JobKind(j.Key), time.Since(start))
 	if err != nil {
 		return nil, fmt.Errorf("engine: job %q: %w", j.Key, err)
 	}

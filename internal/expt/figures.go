@@ -5,11 +5,19 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
 
 // Runner produces one figure's table.
+//
+// Every runner declares its whole simulation grid up front and submits
+// it through Suite.gridSims as a single engine dependency layer, so one
+// figure saturates the worker pool (and dedups against warm artifacts)
+// instead of issuing its simulations sequentially. Assembly from the
+// positional results is then pure formatting, so a parallel run stays
+// byte-identical to a serial one.
 type Runner func(s *Suite) (*report.Table, error)
 
 // figures maps figure IDs to runners. See DESIGN.md §4 for the index.
@@ -50,6 +58,12 @@ func removalFor(name string) int64 {
 	return 50
 }
 
+// speedups divides the baseline cycle count (results column base) by
+// each of the given result columns.
+func speedup(base *cluster.Result, r *cluster.Result) float64 {
+	return stats.Speedup(base.Cycles, r.Cycles)
+}
+
 // Fig2PairCounts reproduces Figure 2: candidate spawning pairs passing
 // the thresholds vs selected pairs (distinct spawning points).
 func Fig2PairCounts(s *Suite) (*report.Table, error) {
@@ -57,12 +71,19 @@ func Fig2PairCounts(s *Suite) (*report.Table, error) {
 		Title:   "Figure 2: candidate pairs vs selected pairs (min prob 0.95, min distance 32)",
 		Columns: []string{"benchmark", "total-pairs", "selected", "return-pairs", "cfg-nodes", "coverage"},
 	}
+	// No simulations here, but the per-benchmark table builds are still
+	// submitted as one engine layer.
+	jobs := make([]engine.Job, len(s.Benches))
+	for i, b := range s.Benches {
+		jobs[i] = b.profileTableJob(core.MaxDistance)
+	}
+	vals, err := s.execLayer(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var totals, selected float64
-	for _, b := range s.Benches {
-		tab, err := b.ProfileTable(core.MaxDistance)
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range s.Benches {
+		tab := vals[i].(*core.Table)
 		returns := 0
 		for _, p := range tab.Primary {
 			if p.Kind == core.KindReturn {
@@ -87,19 +108,18 @@ func Fig3ProfileSpeedup(s *Suite) (*report.Table, error) {
 		Title:   "Figure 3: speed-up, 16 TUs, profile-based pairs, perfect value prediction",
 		Columns: []string{"benchmark", "base-cycles", "smt-cycles", "speed-up"},
 	}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		return []SimSpec{BaselineSpec(), {Policy: "profile", TUs: 16}}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var sp []float64
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
-		}
-		r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16})
-		if err != nil {
-			return nil, err
-		}
-		v := stats.Speedup(base, r.Cycles)
+	for bi, b := range s.Benches {
+		base, r := res[bi][0], res[bi][1]
+		v := speedup(base, r)
 		sp = append(sp, v)
-		t.AddRow(b.Name, report.FmtInt(base), report.FmtInt(r.Cycles), report.Fmt(v))
+		t.AddRow(b.Name, report.FmtInt(base.Cycles), report.FmtInt(r.Cycles), report.Fmt(v))
 	}
 	t.AddRow("Hmean", "", "", report.Fmt(stats.HarmonicMean(sp)))
 	t.Note = "paper: hmean 7.2, ijpeg highest (11.9)"
@@ -113,12 +133,15 @@ func Fig4ActiveThreads(s *Suite) (*report.Table, error) {
 		Title:   "Figure 4: average active threads, 16 TUs, profile pairs, perfect prediction",
 		Columns: []string{"benchmark", "active-threads", "allocated-threads"},
 	}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		return []SimSpec{{Policy: "profile", TUs: 16}}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var act []float64
-	for _, b := range s.Benches {
-		r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16})
-		if err != nil {
-			return nil, err
-		}
+	for bi, b := range s.Benches {
+		r := res[bi][0]
 		act = append(act, r.AvgActiveThreads)
 		t.AddRow(b.Name, report.Fmt(r.AvgActiveThreads), report.Fmt(r.AvgAllocatedThreads))
 	}
@@ -134,32 +157,29 @@ func Fig5aRemoval(s *Suite) (*report.Table, error) {
 		Title:   "Figure 5a: speed-up under spawning-pair removal (alone-cycle thresholds)",
 		Columns: []string{"benchmark", "no-removal", "removal-50", "removal-200"},
 	}
-	var v0, v50, v200 []float64
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
+	removals := []int64{0, 50, 200}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		specs := []SimSpec{BaselineSpec()}
+		for _, rm := range removals {
+			specs = append(specs, SimSpec{Policy: "profile", TUs: 16, Removal: rm})
 		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	means := make([][]float64, len(removals))
+	for bi, b := range s.Benches {
+		base := res[bi][0]
 		row := []string{b.Name}
-		for _, rm := range []int64{0, 50, 200} {
-			r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm})
-			if err != nil {
-				return nil, err
-			}
-			v := stats.Speedup(base, r.Cycles)
+		for ri := range removals {
+			v := speedup(base, res[bi][1+ri])
 			row = append(row, report.Fmt(v))
-			switch rm {
-			case 0:
-				v0 = append(v0, v)
-			case 50:
-				v50 = append(v50, v)
-			default:
-				v200 = append(v200, v)
-			}
+			means[ri] = append(means[ri], v)
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(v0)), report.Fmt(stats.HarmonicMean(v50)), report.Fmt(stats.HarmonicMean(v200)))
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(means[0])), report.Fmt(stats.HarmonicMean(means[1])), report.Fmt(stats.HarmonicMean(means[2])))
 	t.Note = "paper: 200-cycle removal ~10% over no removal; compress drops sharply at 50"
 	return t, nil
 }
@@ -171,25 +191,29 @@ func Fig5bOccurrences(s *Suite) (*report.Table, error) {
 		Title:   "Figure 5b: 50-cycle removal delayed by occurrence count",
 		Columns: []string{"benchmark", "1-occurrence", "8-occurrences", "16-occurrences"},
 	}
-	means := map[int][]float64{}
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
+	occurs := []int{1, 8, 16}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		specs := []SimSpec{BaselineSpec()}
+		for _, oc := range occurs {
+			specs = append(specs, SimSpec{Policy: "profile", TUs: 16, Removal: 50, Occur: oc})
 		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	means := make([][]float64, len(occurs))
+	for bi, b := range s.Benches {
+		base := res[bi][0]
 		row := []string{b.Name}
-		for _, oc := range []int{1, 8, 16} {
-			r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: 50, Occur: oc})
-			if err != nil {
-				return nil, err
-			}
-			v := stats.Speedup(base, r.Cycles)
+		for oi := range occurs {
+			v := speedup(base, res[bi][1+oi])
 			row = append(row, report.Fmt(v))
-			means[oc] = append(means[oc], v)
+			means[oi] = append(means[oi], v)
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(means[1])), report.Fmt(stats.HarmonicMean(means[8])), report.Fmt(stats.HarmonicMean(means[16])))
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(means[0])), report.Fmt(stats.HarmonicMean(means[1])), report.Fmt(stats.HarmonicMean(means[2])))
 	t.Note = "paper: delay helps mainly compress; others lose slightly"
 	return t, nil
 }
@@ -200,22 +224,21 @@ func Fig6Reassign(s *Suite) (*report.Table, error) {
 		Title:   "Figure 6: reassign policy vs removal (50 cycles; compress 200)",
 		Columns: []string{"benchmark", "removal", "reassign"},
 	}
-	var vr, va []float64
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
-		}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
 		rm := removalFor(b.Name)
-		r1, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm})
-		if err != nil {
-			return nil, err
+		return []SimSpec{
+			BaselineSpec(),
+			{Policy: "profile", TUs: 16, Removal: rm},
+			{Policy: "profile", TUs: 16, Removal: rm, Reassign: true},
 		}
-		r2, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm, Reassign: true})
-		if err != nil {
-			return nil, err
-		}
-		s1, s2 := stats.Speedup(base, r1.Cycles), stats.Speedup(base, r2.Cycles)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var vr, va []float64
+	for bi, b := range s.Benches {
+		base := res[bi][0]
+		s1, s2 := speedup(base, res[bi][1]), speedup(base, res[bi][2])
 		vr = append(vr, s1)
 		va = append(va, s2)
 		t.AddRow(b.Name, report.Fmt(s1), report.Fmt(s2))
@@ -232,12 +255,15 @@ func Fig7aThreadSize(s *Suite) (*report.Table, error) {
 		Title:   "Figure 7a: average thread size (instructions), removal policy, no reassign",
 		Columns: []string{"benchmark", "avg-thread-size", "threads-committed"},
 	}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		return []SimSpec{{Policy: "profile", TUs: 16, Removal: removalFor(b.Name)}}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var sizes []float64
-	for _, b := range s.Benches {
-		r, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: removalFor(b.Name)})
-		if err != nil {
-			return nil, err
-		}
+	for bi, b := range s.Benches {
+		r := res[bi][0]
 		sizes = append(sizes, r.AvgThreadSize)
 		t.AddRow(b.Name, report.Fmt(r.AvgThreadSize), report.FmtInt(r.ThreadsCommitted))
 	}
@@ -253,22 +279,21 @@ func Fig7bMinSize(s *Suite) (*report.Table, error) {
 		Title:   "Figure 7b: enforcing minimum thread size 32 (removal 50; compress 200)",
 		Columns: []string{"benchmark", "no-minimum", "minimum-32"},
 	}
-	var v0, v32 []float64
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
-		}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
 		rm := removalFor(b.Name)
-		r1, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm})
-		if err != nil {
-			return nil, err
+		return []SimSpec{
+			BaselineSpec(),
+			{Policy: "profile", TUs: 16, Removal: rm},
+			{Policy: "profile", TUs: 16, Removal: rm, MinSize: 32},
 		}
-		r2, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16, Removal: rm, MinSize: 32})
-		if err != nil {
-			return nil, err
-		}
-		s1, s2 := stats.Speedup(base, r1.Cycles), stats.Speedup(base, r2.Cycles)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var v0, v32 []float64
+	for bi, b := range s.Benches {
+		base := res[bi][0]
+		s1, s2 := speedup(base, res[bi][1]), speedup(base, res[bi][2])
 		v0 = append(v0, s1)
 		v32 = append(v32, s2)
 		t.AddRow(b.Name, report.Fmt(s1), report.Fmt(s2))
@@ -285,21 +310,20 @@ func Fig8VsHeuristics(s *Suite) (*report.Table, error) {
 		Title:   "Figure 8: profile-based vs combined heuristics (16 TUs, perfect prediction)",
 		Columns: []string{"benchmark", "profile", "heuristics", "ratio"},
 	}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		return []SimSpec{
+			BaselineSpec(),
+			{Policy: "profile", TUs: 16},
+			{Policy: "heuristics", TUs: 16},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	var vp, vh []float64
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
-		}
-		rp, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 16})
-		if err != nil {
-			return nil, err
-		}
-		rh, err := s.Sim(b, SimSpec{Policy: "heuristics", TUs: 16})
-		if err != nil {
-			return nil, err
-		}
-		sp, sh := stats.Speedup(base, rp.Cycles), stats.Speedup(base, rh.Cycles)
+	for bi, b := range s.Benches {
+		base := res[bi][0]
+		sp, sh := speedup(base, res[bi][1]), speedup(base, res[bi][2])
 		vp = append(vp, sp)
 		vh = append(vh, sh)
 		t.AddRow(b.Name, report.Fmt(sp), report.Fmt(sh), report.Fmt(stats.Ratio(sp, sh)))
@@ -317,28 +341,35 @@ func Fig9aVPAccuracy(s *Suite) (*report.Table, error) {
 		Title:   "Figure 9a: live-in value prediction accuracy (16KB predictors)",
 		Columns: []string{"benchmark", "stride+profile", "context+profile", "stride+heur", "context+heur"},
 	}
-	accs := make(map[string][]float64)
-	for _, b := range s.Benches {
+	combos := []struct {
+		pol  string
+		pred cluster.PredictorKind
+	}{
+		{"profile", cluster.Stride}, {"profile", cluster.Context},
+		{"heuristics", cluster.Stride}, {"heuristics", cluster.Context},
+	}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		specs := make([]SimSpec, len(combos))
+		for i, c := range combos {
+			specs[i] = SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	accs := make([][]float64, len(combos))
+	for bi, b := range s.Benches {
 		row := []string{b.Name}
-		for _, c := range []struct {
-			pol  string
-			pred cluster.PredictorKind
-			key  string
-		}{
-			{"profile", cluster.Stride, "sp"}, {"profile", cluster.Context, "cp"},
-			{"heuristics", cluster.Stride, "sh"}, {"heuristics", cluster.Context, "ch"},
-		} {
-			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, report.FmtPct(r.VPAccuracy()))
-			accs[c.key] = append(accs[c.key], r.VPAccuracy())
+		for ci := range combos {
+			acc := res[bi][ci].VPAccuracy()
+			row = append(row, report.FmtPct(acc))
+			accs[ci] = append(accs[ci], acc)
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Amean", report.FmtPct(stats.ArithmeticMean(accs["sp"])), report.FmtPct(stats.ArithmeticMean(accs["cp"])),
-		report.FmtPct(stats.ArithmeticMean(accs["sh"])), report.FmtPct(stats.ArithmeticMean(accs["ch"])))
+	t.AddRow("Amean", report.FmtPct(stats.ArithmeticMean(accs[0])), report.FmtPct(stats.ArithmeticMean(accs[1])),
+		report.FmtPct(stats.ArithmeticMean(accs[2])), report.FmtPct(stats.ArithmeticMean(accs[3])))
 	t.Note = "paper: ~70% for all four combinations"
 	return t, nil
 }
@@ -350,33 +381,36 @@ func Fig9bStrideSpeedup(s *Suite) (*report.Table, error) {
 		Title:   "Figure 9b: speed-ups with perfect vs stride prediction (16 TUs)",
 		Columns: []string{"benchmark", "perfect+profile", "stride+profile", "perfect+heur", "stride+heur"},
 	}
-	cols := map[string][]float64{}
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
+	combos := []struct {
+		pol  string
+		pred cluster.PredictorKind
+	}{
+		{"profile", cluster.Perfect}, {"profile", cluster.Stride},
+		{"heuristics", cluster.Perfect}, {"heuristics", cluster.Stride},
+	}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		specs := []SimSpec{BaselineSpec()}
+		for _, c := range combos {
+			specs = append(specs, SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred})
 		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]float64, len(combos))
+	for bi, b := range s.Benches {
+		base := res[bi][0]
 		row := []string{b.Name}
-		for _, c := range []struct {
-			pol  string
-			pred cluster.PredictorKind
-			key  string
-		}{
-			{"profile", cluster.Perfect, "pp"}, {"profile", cluster.Stride, "sp"},
-			{"heuristics", cluster.Perfect, "ph"}, {"heuristics", cluster.Stride, "sh"},
-		} {
-			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred})
-			if err != nil {
-				return nil, err
-			}
-			v := stats.Speedup(base, r.Cycles)
+		for ci := range combos {
+			v := speedup(base, res[bi][1+ci])
 			row = append(row, report.Fmt(v))
-			cols[c.key] = append(cols[c.key], v)
+			cols[ci] = append(cols[ci], v)
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(cols["pp"])), report.Fmt(stats.HarmonicMean(cols["sp"])),
-		report.Fmt(stats.HarmonicMean(cols["ph"])), report.Fmt(stats.HarmonicMean(cols["sh"])))
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(cols[0])), report.Fmt(stats.HarmonicMean(cols[1])),
+		report.Fmt(stats.HarmonicMean(cols[2])), report.Fmt(stats.HarmonicMean(cols[3])))
 	t.Note = "paper: stride keeps >6 (profile) vs ~5.5 (heuristics); both lose 25-34% vs perfect"
 	return t, nil
 }
@@ -388,28 +422,35 @@ func Fig10aCriteriaAccuracy(s *Suite) (*report.Table, error) {
 		Title:   "Figure 10a: prediction accuracy for independent/predictable ordering criteria",
 		Columns: []string{"benchmark", "stride+indep", "context+indep", "stride+pred", "context+pred"},
 	}
-	accs := map[string][]float64{}
-	for _, b := range s.Benches {
+	combos := []struct {
+		pol  string
+		pred cluster.PredictorKind
+	}{
+		{"profile-indep", cluster.Stride}, {"profile-indep", cluster.Context},
+		{"profile-pred", cluster.Stride}, {"profile-pred", cluster.Context},
+	}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		specs := make([]SimSpec, len(combos))
+		for i, c := range combos {
+			specs[i] = SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred}
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	accs := make([][]float64, len(combos))
+	for bi, b := range s.Benches {
 		row := []string{b.Name}
-		for _, c := range []struct {
-			pol  string
-			pred cluster.PredictorKind
-			key  string
-		}{
-			{"profile-indep", cluster.Stride, "si"}, {"profile-indep", cluster.Context, "ci"},
-			{"profile-pred", cluster.Stride, "sp"}, {"profile-pred", cluster.Context, "cp"},
-		} {
-			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: c.pred})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, report.FmtPct(r.VPAccuracy()))
-			accs[c.key] = append(accs[c.key], r.VPAccuracy())
+		for ci := range combos {
+			acc := res[bi][ci].VPAccuracy()
+			row = append(row, report.FmtPct(acc))
+			accs[ci] = append(accs[ci], acc)
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Amean", report.FmtPct(stats.ArithmeticMean(accs["si"])), report.FmtPct(stats.ArithmeticMean(accs["ci"])),
-		report.FmtPct(stats.ArithmeticMean(accs["sp"])), report.FmtPct(stats.ArithmeticMean(accs["cp"])))
+	t.AddRow("Amean", report.FmtPct(stats.ArithmeticMean(accs[0])), report.FmtPct(stats.ArithmeticMean(accs[1])),
+		report.FmtPct(stats.ArithmeticMean(accs[2])), report.FmtPct(stats.ArithmeticMean(accs[3])))
 	t.Note = "paper: the predictable criterion reaches ~75%, best accuracy"
 	return t, nil
 }
@@ -421,28 +462,30 @@ func Fig10bCriteriaSpeedup(s *Suite) (*report.Table, error) {
 		Title:   "Figure 10b: speed-up of independent/predictable criteria vs max-distance (stride)",
 		Columns: []string{"benchmark", "max-distance", "independent", "predictable"},
 	}
-	cols := map[string][]float64{}
-	for _, b := range s.Benches {
-		base, err := s.Baseline(b)
-		if err != nil {
-			return nil, err
+	policies := []string{"profile", "profile-indep", "profile-pred"}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		specs := []SimSpec{BaselineSpec()}
+		for _, pol := range policies {
+			specs = append(specs, SimSpec{Policy: pol, TUs: 16, Predictor: cluster.Stride})
 		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]float64, len(policies))
+	for bi, b := range s.Benches {
+		base := res[bi][0]
 		row := []string{b.Name}
-		for _, c := range []struct{ pol, key string }{
-			{"profile", "d"}, {"profile-indep", "i"}, {"profile-pred", "p"},
-		} {
-			r, err := s.Sim(b, SimSpec{Policy: c.pol, TUs: 16, Predictor: cluster.Stride})
-			if err != nil {
-				return nil, err
-			}
-			v := stats.Speedup(base, r.Cycles)
+		for pi := range policies {
+			v := speedup(base, res[bi][1+pi])
 			row = append(row, report.Fmt(v))
-			cols[c.key] = append(cols[c.key], v)
+			cols[pi] = append(cols[pi], v)
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(cols["d"])), report.Fmt(stats.HarmonicMean(cols["i"])),
-		report.Fmt(stats.HarmonicMean(cols["p"])))
+	t.AddRow("Hmean", report.Fmt(stats.HarmonicMean(cols[0])), report.Fmt(stats.HarmonicMean(cols[1])),
+		report.Fmt(stats.HarmonicMean(cols[2])))
 	t.Note = "paper: both alternatives ~35% below max-distance (smaller threads)"
 	return t, nil
 }
@@ -454,18 +497,24 @@ func Fig11Overhead(s *Suite) (*report.Table, error) {
 		Title:   "Figure 11: slow-down from 8-cycle spawn overhead (stride predictor)",
 		Columns: []string{"benchmark", "profile", "heuristics"},
 	}
+	policies := []string{"profile", "heuristics"}
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		var specs []SimSpec
+		for _, pol := range policies {
+			specs = append(specs,
+				SimSpec{Policy: pol, TUs: 16, Predictor: cluster.Stride},
+				SimSpec{Policy: pol, TUs: 16, Predictor: cluster.Stride, Overhead: 8})
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
 	var vp, vh []float64
-	for _, b := range s.Benches {
+	for bi, b := range s.Benches {
 		row := []string{b.Name}
-		for _, pol := range []string{"profile", "heuristics"} {
-			r0, err := s.Sim(b, SimSpec{Policy: pol, TUs: 16, Predictor: cluster.Stride})
-			if err != nil {
-				return nil, err
-			}
-			r8, err := s.Sim(b, SimSpec{Policy: pol, TUs: 16, Predictor: cluster.Stride, Overhead: 8})
-			if err != nil {
-				return nil, err
-			}
+		for pi, pol := range policies {
+			r0, r8 := res[bi][2*pi], res[bi][2*pi+1]
 			// Slow-down: fraction of performance retained with overhead.
 			v := float64(r0.Cycles) / float64(r8.Cycles)
 			row = append(row, report.Fmt(v))
@@ -499,23 +548,24 @@ func Fig12FourTU(s *Suite) (*report.Table, error) {
 		{"stride", cluster.Stride, 0},
 		{"stride+overhead", cluster.Stride, 8},
 	}
-	for _, cr := range rows {
+	res, err := s.gridSims(func(b *Bench) []SimSpec {
+		specs := []SimSpec{BaselineSpec()}
+		for _, cr := range rows {
+			specs = append(specs,
+				SimSpec{Policy: "profile", TUs: 4, Predictor: cr.pred, Overhead: cr.ov},
+				SimSpec{Policy: "heuristics", TUs: 4, Predictor: cr.pred, Overhead: cr.ov})
+		}
+		return specs
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, cr := range rows {
 		var vp, vh []float64
-		for _, b := range s.Benches {
-			base, err := s.Baseline(b)
-			if err != nil {
-				return nil, err
-			}
-			rp, err := s.Sim(b, SimSpec{Policy: "profile", TUs: 4, Predictor: cr.pred, Overhead: cr.ov})
-			if err != nil {
-				return nil, err
-			}
-			rh, err := s.Sim(b, SimSpec{Policy: "heuristics", TUs: 4, Predictor: cr.pred, Overhead: cr.ov})
-			if err != nil {
-				return nil, err
-			}
-			vp = append(vp, stats.Speedup(base, rp.Cycles))
-			vh = append(vh, stats.Speedup(base, rh.Cycles))
+		for bi := range s.Benches {
+			base := res[bi][0]
+			vp = append(vp, speedup(base, res[bi][1+2*ri]))
+			vh = append(vh, speedup(base, res[bi][2+2*ri]))
 		}
 		t.AddRow(cr.name, report.Fmt(stats.HarmonicMean(vp)), report.Fmt(stats.HarmonicMean(vh)))
 	}

@@ -54,6 +54,28 @@ type Bench struct {
 	eng  *engine.Engine
 }
 
+// ApproxBytes reports the artifacts a resident Bench pins for engine
+// cache accounting. The same artifacts are charged to their own
+// pipeline-stage cache entries too: the cache deliberately over- rather
+// than under-counts shared references, because a resident Bench keeps
+// them alive no matter what happens to the stage entries.
+func (b *Bench) ApproxBytes() int64 {
+	var n int64 = 128
+	if b.Trace != nil {
+		n += b.Trace.ApproxBytes()
+	}
+	if b.Profile != nil {
+		n += b.Profile.ApproxBytes()
+	}
+	if b.Graph != nil {
+		n += b.Graph.ApproxBytes()
+	}
+	if b.Reach != nil {
+		n += b.Reach.ApproxBytes()
+	}
+	return n
+}
+
 // Suite is the whole evaluation context. A Suite is a view over its
 // engine's artifact cache: two suites sharing an engine share every
 // artefact, and constructing a second suite over warm artifacts is
@@ -151,7 +173,11 @@ func (s *Suite) benchJob(name string) engine.Job {
 		Key:  "reach/" + stem + "/" + pipeHash,
 		Deps: []engine.Job{cfgJob},
 		Run: func(ctx context.Context, deps []any) (any, error) {
-			return reach.Compute(deps[0].(*cfg.Graph))
+			// Serial per-source loop here: the engine already runs one
+			// reach job per benchmark concurrently, and nesting a
+			// GOMAXPROCS fan-out inside a worker slot would oversubscribe
+			// the CPUs. Output is identical for every worker count.
+			return reach.ComputeOpts(deps[0].(*cfg.Graph), reach.Options{Workers: 1})
 		},
 	}
 	return engine.Job{
@@ -172,16 +198,53 @@ func (s *Suite) benchJob(name string) engine.Job {
 	}
 }
 
-// ProfileTable returns (building through the engine on first use) the
-// profile-based spawn table under the given ordering criterion.
-func (b *Bench) ProfileTable(crit core.Criterion) (*core.Table, error) {
-	key := fmt.Sprintf("table/%s/%s/%s/%v", b.Name, b.size, pipeHash, crit)
-	v, err := b.eng.Exec(context.Background(), engine.Job{
-		Key: key,
+// profileTableJob is the keyed engine job building b's profile-based
+// spawn table under the given ordering criterion.
+func (b *Bench) profileTableJob(crit core.Criterion) engine.Job {
+	return engine.Job{
+		Key: fmt.Sprintf("table/%s/%s/%s/%v", b.Name, b.size, pipeHash, crit),
 		Run: func(ctx context.Context, deps []any) (any, error) {
 			return core.Select(b.Profile, b.Graph, b.Reach, b.Trace, core.Config{Criterion: crit})
 		},
-	})
+	}
+}
+
+// heuristicTableJob is the keyed engine job building b's combined
+// traditional-heuristics table.
+func (b *Bench) heuristicTableJob() engine.Job {
+	return engine.Job{
+		Key: fmt.Sprintf("heur/%s/%s/%s", b.Name, b.size, pipeHash),
+		Run: func(ctx context.Context, deps []any) (any, error) {
+			return heuristic.Pairs(b.Trace.Program, b.Profile, b.Trace, heuristic.Combined, heuristic.Config{}), nil
+		},
+	}
+}
+
+// tableJob resolves a policy name to the job producing its spawn table.
+// For "none" the job yields a nil table (simulate single-threaded).
+func (b *Bench) tableJob(policy string) (engine.Job, error) {
+	switch policy {
+	case "none":
+		return engine.Job{
+			Run: func(ctx context.Context, deps []any) (any, error) { return (*core.Table)(nil), nil },
+		}, nil
+	case "profile":
+		return b.profileTableJob(core.MaxDistance), nil
+	case "profile-indep":
+		return b.profileTableJob(core.MaxIndependent), nil
+	case "profile-pred":
+		return b.profileTableJob(core.MaxPredictable), nil
+	case "heuristics":
+		return b.heuristicTableJob(), nil
+	default:
+		return engine.Job{}, fmt.Errorf("expt: unknown policy %q", policy)
+	}
+}
+
+// ProfileTable returns (building through the engine on first use) the
+// profile-based spawn table under the given ordering criterion.
+func (b *Bench) ProfileTable(crit core.Criterion) (*core.Table, error) {
+	v, err := b.eng.Exec(context.Background(), b.profileTableJob(crit))
 	if err != nil {
 		return nil, err
 	}
@@ -191,13 +254,7 @@ func (b *Bench) ProfileTable(crit core.Criterion) (*core.Table, error) {
 // HeuristicTable returns (building through the engine on first use) the
 // combined traditional-heuristics table.
 func (b *Bench) HeuristicTable() *core.Table {
-	key := fmt.Sprintf("heur/%s/%s/%s", b.Name, b.size, pipeHash)
-	v, err := b.eng.Exec(context.Background(), engine.Job{
-		Key: key,
-		Run: func(ctx context.Context, deps []any) (any, error) {
-			return heuristic.Pairs(b.Trace.Program, b.Profile, b.Trace, heuristic.Combined, heuristic.Config{}), nil
-		},
-	})
+	v, err := b.eng.Exec(context.Background(), b.heuristicTableJob())
 	if err != nil {
 		// Background context and an error-free builder: unreachable.
 		panic(err)
@@ -227,20 +284,15 @@ func (sp SimSpec) key() string {
 // This is the single policy-name vocabulary; Policies lists the
 // accepted names.
 func (s *Suite) Table(b *Bench, policy string) (*core.Table, error) {
-	switch policy {
-	case "none":
-		return nil, nil
-	case "profile":
-		return b.ProfileTable(core.MaxDistance)
-	case "profile-indep":
-		return b.ProfileTable(core.MaxIndependent)
-	case "profile-pred":
-		return b.ProfileTable(core.MaxPredictable)
-	case "heuristics":
-		return b.HeuristicTable(), nil
-	default:
-		return nil, fmt.Errorf("expt: unknown policy %q", policy)
+	j, err := b.tableJob(policy)
+	if err != nil {
+		return nil, err
 	}
+	v, err := s.eng.Exec(context.Background(), j)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Table), nil
 }
 
 // Policies lists the spawn-policy names Sim accepts.
@@ -248,21 +300,23 @@ func Policies() []string {
 	return []string{"none", "profile", "heuristics", "profile-indep", "profile-pred"}
 }
 
-// Sim runs (or fetches from the engine's artifact cache) one
-// simulation. Identical SimSpecs return the identical *cluster.Result.
-func (s *Suite) Sim(b *Bench, sp SimSpec) (*cluster.Result, error) {
+// simJob builds the keyed engine job for one simulation, declaring the
+// spawn table as a dependency so batches of sims form a proper
+// dependency layer: the engine resolves (or dedups) every table and
+// simulation concurrently up to its worker bound.
+func (s *Suite) simJob(b *Bench, sp SimSpec) (engine.Job, error) {
 	sp.Bench = b.Name
-	tab, err := s.Table(b, sp.Policy)
+	tj, err := b.tableJob(sp.Policy)
 	if err != nil {
-		return nil, err
+		return engine.Job{}, err
 	}
-	key := fmt.Sprintf("sim/%s/%s/%s", s.Size, pipeHash, sp.key())
-	v, err := s.eng.Exec(context.Background(), engine.Job{
-		Key: key,
+	return engine.Job{
+		Key:  fmt.Sprintf("sim/%s/%s/%s", s.Size, pipeHash, sp.key()),
+		Deps: []engine.Job{tj},
 		Run: func(ctx context.Context, deps []any) (any, error) {
 			return cluster.Simulate(b.Trace, cluster.Config{
 				TUs:                sp.TUs,
-				Pairs:              tab,
+				Pairs:              deps[0].(*core.Table),
 				Predictor:          sp.Predictor,
 				SpawnOverhead:      sp.Overhead,
 				RemovalCycles:      sp.Removal,
@@ -272,16 +326,107 @@ func (s *Suite) Sim(b *Bench, sp SimSpec) (*cluster.Result, error) {
 				SpawnWindowFactor:  spawnWindowFactor,
 			})
 		},
-	})
+	}, nil
+}
+
+// Sim runs (or fetches from the engine's artifact cache) one
+// simulation. Identical SimSpecs return the identical *cluster.Result.
+func (s *Suite) Sim(b *Bench, sp SimSpec) (*cluster.Result, error) {
+	j, err := s.simJob(b, sp)
 	if err != nil {
-		return nil, fmt.Errorf("expt: %s: %w", key, err)
+		return nil, err
+	}
+	v, err := s.eng.Exec(context.Background(), j)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s: %w", j.Key, err)
 	}
 	return v.(*cluster.Result), nil
 }
 
+// execLayer submits the jobs as one dependency layer of an anonymous
+// (uncached) gather job: the engine resolves every dependency
+// concurrently, bounded by its worker pool, and returns the outputs in
+// declaration order.
+func (s *Suite) execLayer(jobs []engine.Job) ([]any, error) {
+	v, err := s.eng.Exec(context.Background(), engine.Job{
+		Deps: jobs,
+		Run:  func(ctx context.Context, deps []any) (any, error) { return deps, nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]any), nil
+}
+
+// SimReq names one simulation of a batch: a benchmark and its spec.
+type SimReq struct {
+	Bench *Bench
+	Spec  SimSpec
+}
+
+// SimBatch runs every requested simulation as one engine dependency
+// layer, so a figure's whole configuration grid saturates the worker
+// pool instead of being issued sequentially. Results are positional:
+// out[i] answers reqs[i]. Identical specs are deduplicated by the
+// engine (in-flight and cached), and results are deterministic — a
+// batch returns the same *cluster.Result pointers the equivalent
+// sequence of Sim calls would.
+func (s *Suite) SimBatch(reqs []SimReq) ([]*cluster.Result, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	jobs := make([]engine.Job, len(reqs))
+	for i, r := range reqs {
+		j, err := s.simJob(r.Bench, r.Spec)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = j
+	}
+	vals, err := s.execLayer(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*cluster.Result, len(vals))
+	for i, v := range vals {
+		out[i] = v.(*cluster.Result)
+	}
+	return out, nil
+}
+
+// gridSims builds one request per (benchmark, spec) — specs may vary
+// per benchmark — runs them as one layer, and returns results indexed
+// [bench][spec].
+func (s *Suite) gridSims(specs func(b *Bench) []SimSpec) ([][]*cluster.Result, error) {
+	var reqs []SimReq
+	counts := make([]int, len(s.Benches))
+	for bi, b := range s.Benches {
+		list := specs(b)
+		counts[bi] = len(list)
+		for _, sp := range list {
+			reqs = append(reqs, SimReq{Bench: b, Spec: sp})
+		}
+	}
+	flat, err := s.SimBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*cluster.Result, len(s.Benches))
+	k := 0
+	for bi := range s.Benches {
+		out[bi] = flat[k : k+counts[bi]]
+		k += counts[bi]
+	}
+	return out, nil
+}
+
+// BaselineSpec is the single-threaded reference configuration every
+// speed-up is measured against.
+func BaselineSpec() SimSpec { return SimSpec{Policy: "none", TUs: 1} }
+
 // Baseline returns the single-threaded cycle count for a benchmark.
 func (s *Suite) Baseline(b *Bench) (int64, error) {
-	r, err := s.Sim(b, SimSpec{Policy: "none", TUs: 1})
+	r, err := s.Sim(b, BaselineSpec())
 	if err != nil {
 		return 0, err
 	}

@@ -248,6 +248,12 @@ type Program struct {
 // Len returns the number of static instructions.
 func (p *Program) Len() int { return len(p.Code) }
 
+// ApproxBytes reports the program's approximate resident size for
+// engine cache accounting (24B per instruction, ~48B per function).
+func (p *Program) ApproxBytes() int64 {
+	return int64(len(p.Code))*24 + int64(len(p.Funcs))*48 + int64(len(p.Name)) + 64
+}
+
 // FuncAt returns the function containing pc, or nil.
 func (p *Program) FuncAt(pc uint32) *Function {
 	for i := range p.Funcs {

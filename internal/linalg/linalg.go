@@ -1,8 +1,27 @@
 // Package linalg provides the small dense linear-algebra kernel the
 // reaching-probability engine needs: row-major matrices, LU factorisation
-// with partial pivoting, solves, and inversion. It is deliberately
-// minimal — no BLAS ambitions — but the inner loops are written to be
-// cache-friendly because the engine factorises one matrix per CFG node.
+// with partial pivoting, solves, inversion, and blocked multiplication.
+// It is deliberately minimal — no BLAS ambitions — but every kernel has
+// an allocation-free form so the hot path can run entirely out of
+// reusable storage.
+//
+// # Allocation contract
+//
+// The convenience entry points (NewMatrix, Factor, Invert, Mul) allocate
+// their results. Every one of them is backed by an in-place kernel that
+// does not allocate at steady state:
+//
+//	FactorInto   factorises into an existing LU's storage
+//	Solve        solves using the LU's internal scratch
+//	InverseInto  writes A⁻¹ into an existing matrix
+//	MulInto      writes A·B into an existing matrix (blocked)
+//	MulVec/MulVecT multiply into caller-provided vectors
+//
+// A Workspace pools vectors, matrices, and LU factorisations so a
+// caller that computes in a loop (the reach engine factorises and
+// multiplies once per CFG) reuses the same storage on every iteration.
+// Workspaces, LU values, and the In-place kernels are NOT safe for
+// concurrent use; give each goroutine its own.
 package linalg
 
 import (
@@ -44,12 +63,36 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns row i as a shared slice.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// Reshape resizes m to rows×cols, reusing its backing array when it is
+// large enough, and zeroes the content.
+func (m *Matrix) Reshape(rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.Rows, m.Cols)
 	copy(c.Data, m.Data)
 	return c
 }
+
+// CopyFrom resizes m to a's shape and copies a's content.
+func (m *Matrix) CopyFrom(a *Matrix) {
+	m.Reshape(a.Rows, a.Cols)
+	copy(m.Data, a.Data)
+}
+
+// ApproxBytes reports the matrix's resident size for cache accounting.
+func (m *Matrix) ApproxBytes() int64 { return int64(cap(m.Data))*8 + 48 }
 
 // MulVec computes y = m·x.
 func (m *Matrix) MulVec(x, y []float64) {
@@ -66,48 +109,127 @@ func (m *Matrix) MulVec(x, y []float64) {
 	}
 }
 
-// Mul computes C = A·B.
-func Mul(a, b *Matrix) *Matrix {
+// MulVecT computes y = mᵀ·x (y[j] = Σ_i x[i]·m[i,j]) without
+// materialising the transpose; it walks m row-wise, so it is as
+// cache-friendly as MulVec.
+func (m *Matrix) MulVecT(x, y []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVecT dims %dx%d ᵀ× %d -> %d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+}
+
+// mulBlock is the k-panel height of the blocked multiply: mulBlock rows
+// of B (≤ 2KB each at n ≤ 256) stay L1/L2-resident while a C row
+// accumulates across the panel.
+const mulBlock = 64
+
+// MulInto computes dst = a·b into dst (reshaped as needed) without
+// allocating beyond dst's backing array. dst must not alias a or b.
+// The k loop is tiled so each panel of b is reused across every row of
+// a while still hot.
+func MulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	c := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += av * bv
+	dst.Reshape(a.Rows, b.Cols)
+	for kk := 0; kk < a.Cols; kk += mulBlock {
+		kend := kk + mulBlock
+		if kend > a.Cols {
+			kend = a.Cols
+		}
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			crow := dst.Row(i)
+			for k := kk; k < kend; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
 			}
 		}
 	}
-	return c
+	return dst
 }
 
-// LU is a compact LU factorisation with partial pivoting: PA = LU.
+// Mul computes C = A·B into a fresh matrix.
+func Mul(a, b *Matrix) *Matrix {
+	return MulInto(NewMatrix(a.Rows, b.Cols), a, b)
+}
+
+// LU is a compact LU factorisation with partial pivoting: PA = LU. An
+// LU's storage is reused across FactorInto calls, and Solve/InverseInto
+// run out of its internal scratch, so a long-lived LU performs no
+// steady-state allocation. An LU is not safe for concurrent use.
 type LU struct {
 	lu   *Matrix
 	piv  []int
 	sign float64
+	work []float64 // Solve scratch
+	aux  []float64 // InverseInto column scratch
 }
 
-// Factor computes the LU factorisation of a square matrix. The input is
-// not modified.
+// NewLU returns an LU with storage preallocated for n×n factorisations.
+func NewLU(n int) *LU {
+	return &LU{
+		lu:   NewMatrix(n, n),
+		piv:  make([]int, n),
+		work: make([]float64, n),
+		aux:  make([]float64, n),
+	}
+}
+
+// Factor computes the LU factorisation of a square matrix into fresh
+// storage. The input is not modified.
 func Factor(a *Matrix) (*LU, error) {
+	f := NewLU(a.Rows)
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto factorises a into f's storage, growing it if needed but
+// never allocating once f has seen a matrix of this size. The input is
+// not modified. On error f's previous factorisation is destroyed.
+func (f *LU) FactorInto(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: Factor needs square matrix, got %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("linalg: Factor needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
-	for i := range piv {
-		piv[i] = i
+	if f.lu == nil {
+		f.lu = &Matrix{}
 	}
-	sign := 1.0
+	f.lu.CopyFrom(a)
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+		f.work = make([]float64, n)
+		f.aux = make([]float64, n)
+	}
+	f.piv = f.piv[:n]
+	f.work = f.work[:n]
+	f.aux = f.aux[:n]
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	f.sign = 1.0
 	for k := 0; k < n; k++ {
 		// Pivot selection.
 		p, max := k, math.Abs(lu.At(k, k))
@@ -117,42 +239,43 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if max < 1e-14 {
-			return nil, fmt.Errorf("%w: pivot %d ~ %g", ErrSingular, k, max)
+			return fmt.Errorf("%w: pivot %d ~ %g", ErrSingular, k, max)
 		}
 		if p != k {
 			rk, rp := lu.Row(k), lu.Row(p)
 			for j := range rk {
 				rk[j], rp[j] = rp[j], rk[j]
 			}
-			piv[k], piv[p] = piv[p], piv[k]
-			sign = -sign
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
 		}
 		// Elimination.
 		pivot := lu.At(k, k)
 		rowk := lu.Row(k)
 		for i := k + 1; i < n; i++ {
 			rowi := lu.Row(i)
-			f := rowi[k] / pivot
-			rowi[k] = f
-			if f == 0 {
+			fac := rowi[k] / pivot
+			rowi[k] = fac
+			if fac == 0 {
 				continue
 			}
 			for j := k + 1; j < n; j++ {
-				rowi[j] -= f * rowk[j]
+				rowi[j] -= fac * rowk[j]
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	return nil
 }
 
-// Solve solves A·x = b into x (x and b may alias).
+// Solve solves A·x = b into x (x and b may alias). It runs out of the
+// LU's internal scratch and does not allocate.
 func (f *LU) Solve(b, x []float64) {
 	n := f.lu.Rows
 	if len(b) != n || len(x) != n {
 		panic("linalg: Solve dimension mismatch")
 	}
 	// Apply permutation.
-	tmp := make([]float64, n)
+	tmp := f.work
 	for i := 0; i < n; i++ {
 		tmp[i] = b[f.piv[i]]
 	}
@@ -177,23 +300,28 @@ func (f *LU) Solve(b, x []float64) {
 	copy(x, tmp)
 }
 
-// Inverse computes A⁻¹ column by column.
+// Inverse computes A⁻¹ into a fresh matrix.
 func (f *LU) Inverse() *Matrix {
+	return f.InverseInto(NewMatrix(f.lu.Rows, f.lu.Rows))
+}
+
+// InverseInto computes A⁻¹ column by column into dst (reshaped as
+// needed) without allocating beyond dst's backing array.
+func (f *LU) InverseInto(dst *Matrix) *Matrix {
 	n := f.lu.Rows
-	inv := NewMatrix(n, n)
-	e := make([]float64, n)
-	x := make([]float64, n)
+	dst.Reshape(n, n)
+	e := f.aux
 	for j := 0; j < n; j++ {
 		for i := range e {
 			e[i] = 0
 		}
 		e[j] = 1
-		f.Solve(e, x)
+		f.Solve(e, e)
 		for i := 0; i < n; i++ {
-			inv.Set(i, j, x[i])
+			dst.Set(i, j, e[i])
 		}
 	}
-	return inv
+	return dst
 }
 
 // Det returns the determinant from the factorisation.

@@ -1,0 +1,93 @@
+package linalg
+
+// Workspace is a reusable scratch arena for vectors, matrices, and LU
+// factorisations. Taking an object removes it from the pool; putting it
+// back makes its storage available to the next request of compatible
+// size, so a caller that runs the same computation repeatedly (the
+// reach engine solves one chain per CFG, with ~a dozen scratch vectors
+// per source node) reaches a steady state of zero allocations.
+//
+// A Workspace is NOT safe for concurrent use: give each goroutine its
+// own, or guard it externally. Objects obtained from a Workspace may be
+// returned to any Workspace (or simply dropped).
+type Workspace struct {
+	vecs []([]float64)
+	mats []*Matrix
+	lus  []*LU
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Vec returns a zeroed length-n vector, reusing pooled storage with
+// sufficient capacity when available.
+func (w *Workspace) Vec(n int) []float64 {
+	for i := len(w.vecs) - 1; i >= 0; i-- {
+		if cap(w.vecs[i]) >= n {
+			v := w.vecs[i][:n]
+			last := len(w.vecs) - 1
+			w.vecs[i] = w.vecs[last]
+			w.vecs[last] = nil
+			w.vecs = w.vecs[:last]
+			for j := range v {
+				v[j] = 0
+			}
+			return v
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutVec returns a vector to the pool.
+func (w *Workspace) PutVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	w.vecs = append(w.vecs, v[:cap(v)])
+}
+
+// Matrix returns a zeroed rows×cols matrix, reusing pooled storage with
+// sufficient capacity when available.
+func (w *Workspace) Matrix(rows, cols int) *Matrix {
+	n := rows * cols
+	for i := len(w.mats) - 1; i >= 0; i-- {
+		if cap(w.mats[i].Data) >= n {
+			m := w.mats[i]
+			last := len(w.mats) - 1
+			w.mats[i] = w.mats[last]
+			w.mats[last] = nil
+			w.mats = w.mats[:last]
+			m.Reshape(rows, cols)
+			return m
+		}
+	}
+	return NewMatrix(rows, cols)
+}
+
+// PutMatrix returns a matrix to the pool.
+func (w *Workspace) PutMatrix(m *Matrix) {
+	if m == nil {
+		return
+	}
+	w.mats = append(w.mats, m)
+}
+
+// LU returns a factorisation scratch sized for n×n matrices (call
+// FactorInto on it), reusing a pooled one when available.
+func (w *Workspace) LU(n int) *LU {
+	if last := len(w.lus) - 1; last >= 0 {
+		f := w.lus[last]
+		w.lus[last] = nil
+		w.lus = w.lus[:last]
+		return f
+	}
+	return NewLU(n)
+}
+
+// PutLU returns a factorisation to the pool.
+func (w *Workspace) PutLU(f *LU) {
+	if f == nil {
+		return
+	}
+	w.lus = append(w.lus, f)
+}

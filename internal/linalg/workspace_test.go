@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkspaceVecReuse(t *testing.T) {
+	w := NewWorkspace()
+	v := w.Vec(8)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	w.PutVec(v)
+	v2 := w.Vec(4)
+	if &v2[0] != &v[0] {
+		t.Error("compatible vector not reused")
+	}
+	for i, x := range v2 {
+		if x != 0 {
+			t.Fatalf("reused vector not zeroed at %d", i)
+		}
+	}
+	// Larger request must allocate fresh storage.
+	big := w.Vec(16)
+	if len(big) != 16 {
+		t.Fatalf("len = %d", len(big))
+	}
+}
+
+func TestWorkspaceMatrixReuse(t *testing.T) {
+	w := NewWorkspace()
+	m := w.Matrix(4, 4)
+	m.Set(0, 0, 7)
+	w.PutMatrix(m)
+	m2 := w.Matrix(2, 8)
+	if &m2.Data[0] != &m.Data[0] {
+		t.Error("compatible matrix not reused")
+	}
+	if m2.Rows != 2 || m2.Cols != 8 {
+		t.Fatalf("shape %dx%d", m2.Rows, m2.Cols)
+	}
+	for i, x := range m2.Data {
+		if x != 0 {
+			t.Fatalf("reused matrix not zeroed at %d", i)
+		}
+	}
+}
+
+func TestWorkspaceLUReuse(t *testing.T) {
+	w := NewWorkspace()
+	f := w.LU(3)
+	a := Identity(3)
+	if err := f.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	w.PutLU(f)
+	if f2 := w.LU(3); f2 != f {
+		t.Error("LU not reused")
+	}
+}
+
+func TestFactorIntoMatchesFactor(t *testing.T) {
+	a := randomDiagDominant(6, []float64{0.3, 0.9, 0.1, 0.7, 0.52, 0.24, 0.81})
+	want, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewLU(2) // undersized on purpose: FactorInto must grow
+	if err := f.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-want.Det()) > 1e-12*math.Abs(want.Det()) {
+		t.Errorf("det mismatch: %v vs %v", f.Det(), want.Det())
+	}
+	b := []float64{1, 2, 3, 4, 5, 6}
+	x1, x2 := make([]float64, 6), make([]float64, 6)
+	want.Solve(b, x1)
+	f.Solve(b, x2)
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("solve mismatch at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestInverseIntoMatchesInverse(t *testing.T) {
+	a := randomDiagDominant(5, []float64{0.6, 0.2, 0.9, 0.33, 0.47})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.Inverse()
+	dst := NewMatrix(1, 1)
+	f.InverseInto(dst)
+	if dst.Rows != 5 || dst.Cols != 5 {
+		t.Fatalf("shape %dx%d", dst.Rows, dst.Cols)
+	}
+	for i := range want.Data {
+		if want.Data[i] != dst.Data[i] {
+			t.Fatalf("InverseInto differs at %d", i)
+		}
+	}
+}
+
+func TestMulIntoMatchesMul(t *testing.T) {
+	// Rectangular and larger-than-one-block shapes.
+	shapes := []struct{ m, k, n int }{{3, 4, 2}, {70, 65, 80}, {128, 128, 128}}
+	for _, sh := range shapes {
+		a, b := NewMatrix(sh.m, sh.k), NewMatrix(sh.k, sh.n)
+		s := uint64(99)
+		next := func() float64 {
+			s ^= s >> 12
+			s ^= s << 25
+			s ^= s >> 27
+			return float64(s*0x2545f4914f6cdd1d%1000) / 1000
+		}
+		for i := range a.Data {
+			a.Data[i] = next()
+		}
+		for i := range b.Data {
+			b.Data[i] = next()
+		}
+		want := Mul(a, b)
+		dst := NewMatrix(1, 1)
+		MulInto(dst, a, b)
+		if dst.Rows != sh.m || dst.Cols != sh.n {
+			t.Fatalf("shape %dx%d", dst.Rows, dst.Cols)
+		}
+		for i := range want.Data {
+			if want.Data[i] != dst.Data[i] {
+				t.Fatalf("%dx%dx%d: MulInto differs at %d", sh.m, sh.k, sh.n, i)
+			}
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := make([]float64, 3)
+	m.MulVecT([]float64{1, 2}, y)
+	// yᵀ = [1 2]·m = [1+8, 2+10, 3+12]
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+// TestZeroAllocKernels pins the allocation contract of the in-place
+// kernels: at steady state they allocate nothing.
+func TestZeroAllocKernels(t *testing.T) {
+	n := 32
+	a := randomDiagDominant(n, []float64{0.4, 0.8, 0.15, 0.67, 0.29, 0.93})
+	f := NewLU(n)
+	inv := NewMatrix(n, n)
+	dst := NewMatrix(n, n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	y := make([]float64, n)
+
+	cases := map[string]func(){
+		"FactorInto": func() {
+			if err := f.FactorInto(a); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"Solve":       func() { f.Solve(b, x) },
+		"InverseInto": func() { f.InverseInto(inv) },
+		"MulInto":     func() { MulInto(dst, a, inv) },
+		"MulVec":      func() { a.MulVec(b, y) },
+		"MulVecT":     func() { a.MulVecT(b, y) },
+	}
+	for name, fn := range cases {
+		fn() // warm up sizing
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per run, want 0", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/linalg"
+)
+
+// ComputeDirect is the reference implementation: it LU-factorises a
+// fresh taboo chain (I−Qᵢ) for every source node — O(n³) per node,
+// O(n⁴) per CFG. Compute derives the same matrices from a single
+// shared factorisation in O(n³) total; this path is kept as the
+// numerical ground truth for the parity property tests, as the
+// benchmark baseline, and as the fallback Compute uses when the base
+// chain is singular or ill-conditioned.
+func ComputeDirect(g *cfg.Graph) (*Result, error) {
+	n := len(g.Nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("reach: empty graph")
+	}
+	ws := wsPool.Get().(*linalg.Workspace)
+	P := buildChain(g, ws)
+	lens := ws.Vec(n)
+	for i := 0; i < n; i++ {
+		lens[i] = float64(g.Nodes[i].Len)
+	}
+	res := &Result{G: g, Prob: linalg.NewMatrix(n, n), Dist: linalg.NewMatrix(n, n)}
+	err := computeDirectInto(P, lens, res)
+	ws.PutVec(lens)
+	ws.PutMatrix(P)
+	wsPool.Put(ws)
+	return finish(res, err)
+}
+
+// computeDirectInto runs the per-source factorisation over every source.
+func computeDirectInto(P *linalg.Matrix, lens []float64, res *Result) error {
+	n := P.Rows
+	for i := 0; i < n; i++ {
+		if err := computeSourceDirect(P, lens, i, res.Prob.Row(i), res.Dist.Row(i)); err != nil {
+			return fmt.Errorf("reach: source %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// computeSourceDirect fills rows i of the probability and distance
+// matrices by factorising the taboo chain of source i from scratch.
+func computeSourceDirect(P *linalg.Matrix, lens []float64, i int, probRow, distRow []float64) error {
+	n := P.Rows
+	N, err := tabooFundamental(P, i, 1)
+	if err != nil {
+		if N, err = tabooFundamental(P, i, 1-damping); err != nil {
+			return err
+		}
+	}
+	// M = N·diag(len)·N.
+	ND := N.Clone()
+	for r := 0; r < n; r++ {
+		row := ND.Row(r)
+		for c := 0; c < n; c++ {
+			row[c] *= lens[c]
+		}
+	}
+	M := linalg.Mul(ND, N)
+
+	srcRow := P.Row(i)
+	x := make([]float64, n)
+	gv := make([]float64, n)
+	h := make([]float64, n)
+	gcirc := make([]float64, n)
+
+	// j == i: first-return probability and distance.
+	// h(v) = Pr_v(hit i before leaking) = (N·a)(v), a = P(:,i).
+	for v := 0; v < n; v++ {
+		s := 0.0
+		Nrow := N.Row(v)
+		for u := 0; u < n; u++ {
+			if u == i {
+				continue
+			}
+			s += Nrow[u] * P.At(u, i)
+		}
+		h[v] = s
+	}
+	// g°(v) = (N·(len ⊙ h))(v).
+	for v := 0; v < n; v++ {
+		s := 0.0
+		Nrow := N.Row(v)
+		for u := 0; u < n; u++ {
+			if u == i {
+				continue
+			}
+			s += Nrow[u] * lens[u] * h[u]
+		}
+		gcirc[v] = s
+	}
+	rpII := srcRow[i] // immediate self-loop: success, no intermediates
+	numII := 0.0
+	for v := 0; v < n; v++ {
+		if v == i || srcRow[v] == 0 {
+			continue
+		}
+		rpII += srcRow[v] * h[v]
+		numII += srcRow[v] * gcirc[v]
+	}
+	probRow[i] = clamp01(rpII)
+	if rpII > 0 {
+		distRow[i] = lens[i] + numII/rpII
+	}
+
+	// j != i.
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		njj := N.At(j, j)
+		if njj <= 0 {
+			continue
+		}
+		// x = M(:,j)/njj − N(:,j)·len(j)
+		for v := 0; v < n; v++ {
+			x[v] = M.At(v, j)/njj - N.At(v, j)*lens[j]
+		}
+		// β = (q_jᵀ·x)/njj, q_j = row j of taboo chain (col i zeroed).
+		beta := 0.0
+		Pj := P.Row(j)
+		for v := 0; v < n; v++ {
+			if v == i {
+				continue
+			}
+			beta += Pj[v] * x[v]
+		}
+		beta /= njj
+		for v := 0; v < n; v++ {
+			gv[v] = x[v] - N.At(v, j)*beta
+		}
+		gv[j] = 0
+
+		rp := 0.0
+		num := 0.0
+		for v := 0; v < n; v++ {
+			pv := srcRow[v]
+			if pv == 0 || v == i {
+				continue
+			}
+			if v == j {
+				rp += pv // direct hit, no intermediates
+			} else {
+				rp += pv * (N.At(v, j) / njj)
+				num += pv * gv[v]
+			}
+		}
+		probRow[j] = clamp01(rp)
+		if rp > 1e-12 {
+			d := lens[i] + num/rp
+			if d < lens[i] {
+				d = lens[i]
+			}
+			distRow[j] = d
+		}
+	}
+	return nil
+}
+
+// tabooFundamental computes N = (I − s·Q_i)⁻¹ where Q_i is P with row i
+// and column i zeroed.
+func tabooFundamental(P *linalg.Matrix, i int, s float64) (*linalg.Matrix, error) {
+	n := P.Rows
+	A := linalg.NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		Arow := A.Row(r)
+		Arow[r] = 1
+		if r == i {
+			continue
+		}
+		Prow := P.Row(r)
+		for c := 0; c < n; c++ {
+			if c == i {
+				continue
+			}
+			Arow[c] -= s * Prow[c]
+		}
+	}
+	return linalg.Invert(A)
+}

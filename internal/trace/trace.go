@@ -49,6 +49,16 @@ type Trace struct {
 // Len returns the number of dynamic instructions.
 func (t *Trace) Len() int { return len(t.Events) }
 
+// ApproxBytes reports the trace's approximate resident size — the event
+// stream plus the occurrence index — for engine cache accounting.
+// Traces dominate every other artifact by orders of magnitude. The
+// program is charged to its own artifact entry.
+func (t *Trace) ApproxBytes() int64 {
+	// One Event is 32 bytes; the index adds one int32 per event plus
+	// map overhead (~8B/event amortised).
+	return int64(len(t.Events))*44 + 128
+}
+
 // BuildIndex constructs the PC → positions index used by NextOccurrence.
 // It is idempotent and safe for concurrent use.
 func (t *Trace) BuildIndex() {

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench_reach.sh — runs the reach/linalg benchmarks and records the
+# perf trajectory in BENCH_reach.json at the repo root, so the
+# shared-factorisation engine's speedup and allocation profile are
+# tracked across PRs.
+#
+# Usage:
+#   scripts/bench_reach.sh [output.json]
+#   BENCHTIME=1x scripts/bench_reach.sh     # quick CI mode
+#
+# The summary block compares the shared-factorisation engine against
+# the per-source-factorisation reference on the medium (n=128) CFG —
+# the acceptance numbers for the O(n⁴)→O(n³) rewrite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+out="${1:-BENCH_reach.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test ./internal/reach ./internal/linalg -run '^$' \
+  -bench 'BenchmarkReach|BenchmarkLinalg' -benchmem -benchtime "$benchtime" \
+  | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gover="$(go version | { read -r _ _ v _; echo "$v"; })" \
+    -v benchtime="$benchtime" '
+/^Benchmark/ && /ns\/op/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  ns = $3; bytes = $5; allocs = $7
+  n++
+  lines[n] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+                     name, ns, bytes, allocs)
+  if (name == "BenchmarkReach/shared/n=128") { sns = ns; sal = allocs }
+  if (name == "BenchmarkReach/direct/n=128") { dns = ns; dal = allocs }
+}
+END {
+  printf("{\n")
+  printf("  \"generated\": \"%s\",\n", date)
+  printf("  \"go\": \"%s\",\n", gover)
+  printf("  \"benchtime\": \"%s\",\n", benchtime)
+  printf("  \"benchmarks\": [\n")
+  for (i = 1; i <= n; i++) printf("%s%s\n", lines[i], (i < n) ? "," : "")
+  printf("  ]")
+  if (sns > 0 && dns > 0) {
+    printf(",\n  \"summary\": {\n")
+    printf("    \"medium_cfg_nodes\": 128,\n")
+    printf("    \"shared_ns_per_op\": %s,\n", sns)
+    printf("    \"direct_ns_per_op\": %s,\n", dns)
+    printf("    \"speedup_shared_vs_direct\": %.2f,\n", dns / sns)
+    printf("    \"shared_allocs_per_op\": %s,\n", sal)
+    printf("    \"direct_allocs_per_op\": %s,\n", dal)
+    printf("    \"alloc_reduction_pct\": %.2f\n", 100 * (1 - sal / dal))
+    printf("  }\n")
+  } else {
+    printf("\n")
+  }
+  printf("}\n")
+}' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -109,6 +109,10 @@ var Benchmarks = workload.Benchmarks
 // ParseSize parses a size-class name ("test", "small", "full").
 func ParseSize(s string) (SizeClass, error) { return workload.ParseSize(s) }
 
+// ParseBytes parses a human byte size ("512MB", "1.5gb", "8192") for
+// EngineOptions.CacheBytes.
+func ParseBytes(s string) (int64, error) { return engine.ParseBytes(s) }
+
 // Concurrent job-execution engine (re-exported from internal/engine).
 // An Engine runs keyed, dependency-ordered jobs on a bounded worker
 // pool, deduplicates identical in-flight work, and memoizes artifacts
@@ -118,11 +122,13 @@ func ParseSize(s string) (SizeClass, error) { return workload.ParseSize(s) }
 type (
 	// Engine is the concurrent job executor.
 	Engine = engine.Engine
-	// EngineOptions configures worker-pool size and cache capacity.
+	// EngineOptions configures worker-pool size, cache entry capacity,
+	// and the cache's resident-byte budget (CacheBytes).
 	EngineOptions = engine.Options
 	// EngineJob is one keyed unit of work with dependencies.
 	EngineJob = engine.Job
-	// EngineStats snapshots cache and dedup counters.
+	// EngineStats snapshots cache, dedup, byte-residency, and
+	// per-job-kind latency counters.
 	EngineStats = engine.Stats
 )
 
@@ -158,6 +164,10 @@ type AnalyzeConfig struct {
 	MaxNodes int
 	// MaxInstrs bounds emulation (default emu.DefaultMaxInstrs).
 	MaxInstrs int
+	// ReachWorkers bounds the reach engine's per-source fan-out
+	// (default GOMAXPROCS; 1 forces serial). Output is byte-identical
+	// for every worker count.
+	ReachWorkers int
 }
 
 // Analyze runs the program and produces every profiling artefact the
@@ -178,7 +188,7 @@ func Analyze(p *Program, cfgA AnalyzeConfig) (*Artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spmt: prune: %w", err)
 	}
-	r, err := reach.Compute(g)
+	r, err := reach.ComputeOpts(g, reach.Options{Workers: cfgA.ReachWorkers})
 	if err != nil {
 		return nil, fmt.Errorf("spmt: reach: %w", err)
 	}

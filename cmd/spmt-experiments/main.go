@@ -8,6 +8,12 @@
 //
 //	spmt-experiments [-figure all|fig3|fig9b|...] [-size test|small|full]
 //	                 [-bench go,gcc,...] [-parallel N] [-csv]
+//	                 [-store-dir DIR] [-store-bytes 4GB]
+//
+// With -store-dir, pipeline artifacts persist to the same on-disk
+// store format spmt-server uses, so repeated local figure runs (and a
+// server pointed at the same directory) warm from each other's work
+// instead of re-emulating every benchmark.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/engine/codec"
 	"repro/internal/expt"
 	"repro/internal/workload"
 )
@@ -29,6 +36,8 @@ func main() {
 	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size (1 = serial)")
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+	storeDir := flag.String("store-dir", "", "disk-tier directory shared with spmt-server (empty = memory-only)")
+	storeBytes := flag.String("store-bytes", "", "disk-tier byte budget, e.g. 4GB (empty = unbounded)")
 	flag.Parse()
 
 	size, err := workload.ParseSize(*sizeFlag)
@@ -43,9 +52,31 @@ func main() {
 		names = strings.Split(*benchFlag, ",")
 	}
 
+	opts := engine.Options{Workers: *parallel}
+	if *storeDir != "" {
+		var diskBudget int64
+		if *storeBytes != "" {
+			var err error
+			if diskBudget, err = engine.ParseBytes(*storeBytes); err != nil {
+				fatal(fmt.Errorf("-store-bytes: %w", err))
+			}
+		}
+		disk, err := engine.OpenDiskTier(*storeDir, diskBudget, codec.New())
+		if err != nil {
+			fatal(fmt.Errorf("-store-dir: %w", err))
+		}
+		opts.Disk = disk
+	} else if *storeBytes != "" {
+		fatal(fmt.Errorf("-store-bytes needs -store-dir"))
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building pipeline (size=%s, workers=%d)...\n", size, *parallel)
-	eng := engine.New(engine.Options{Workers: *parallel})
+	eng := engine.New(opts)
+	if *storeDir != "" {
+		n := eng.WarmFromDisk()
+		fmt.Fprintf(os.Stderr, "warmed %d artifacts from %s\n", n, *storeDir)
+	}
 	suite, err := expt.NewSuiteEngine(eng, size, names)
 	if err != nil {
 		fatal(err)
@@ -75,6 +106,10 @@ func main() {
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr, "engine: %d jobs executed, %d deduped, cache %d hits / %d misses\n",
 		st.Executed, st.Deduped, st.Cache.Hits, st.Cache.Misses)
+	if st.Disk != nil {
+		fmt.Fprintf(os.Stderr, "store: %d disk hits, %d writes, %d artifacts / %d bytes resident\n",
+			st.Disk.Hits, st.Disk.Writes, st.Disk.Entries, st.Disk.BytesResident)
+	}
 }
 
 func fatal(err error) {

@@ -2,17 +2,22 @@
 // Clustered SpMT simulator over HTTP/JSON. All requests share one
 // concurrent job engine, so identical or overlapping work — across
 // endpoints and across clients — is deduplicated in flight and repeat
-// requests hit the content-keyed artifact cache.
+// requests hit the tiered artifact store: an in-memory LRU backed by
+// an optional on-disk tier (-store-dir), which survives restarts and
+// warms the memory tier at boot, so a restarted server answers
+// previously-seen requests without re-running emulation.
 //
 // Usage:
 //
 //	spmt-server [-addr :8080] [-parallel N] [-cache-entries N] [-cache-bytes 512MB]
+//	            [-store-dir /var/lib/spmt] [-store-bytes 4GB]
 //
 // Endpoints:
 //
 //	POST /v1/analyze      {"bench":"ijpeg","size":"test"}
 //	POST /v1/pairs        {"bench":"ijpeg","policy":"profile"}
 //	POST /v1/simulate     {"bench":"ijpeg","policy":"profile","tus":16,"predictor":"stride"}
+//	POST /v1/batch        {"size":"test","sweep":{"benches":["ijpeg"],"tus":[1,2,4,8,16]}}
 //	GET  /v1/figures/fig3?size=test&bench=compress,ijpeg
 //	GET  /v1/stats
 package main
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/engine/codec"
 	"repro/internal/server"
 )
 
@@ -34,22 +40,35 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size")
 	cacheEntries := flag.Int("cache-entries", engine.DefaultCacheEntries, "artifact-cache capacity (entries)")
-	cacheBytes := flag.String("cache-bytes", "", "artifact-cache resident-byte budget, e.g. 512MB (empty = unbounded)")
+	cacheBytes := flag.String("cache-bytes", "", "memory-tier resident-byte budget, e.g. 512MB (empty = unbounded)")
+	storeDir := flag.String("store-dir", "", "disk-tier directory for persistent artifacts (empty = memory-only)")
+	storeBytes := flag.String("store-bytes", "", "disk-tier byte budget, e.g. 4GB (empty = unbounded)")
 	flag.Parse()
 
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "spmt-server: -parallel must be >= 1")
 		os.Exit(2)
 	}
-	var maxBytes int64
-	if *cacheBytes != "" {
-		var err error
-		if maxBytes, err = engine.ParseBytes(*cacheBytes); err != nil {
-			fmt.Fprintf(os.Stderr, "spmt-server: -cache-bytes: %v\n", err)
+	maxBytes := parseBytesFlag("-cache-bytes", *cacheBytes)
+	opts := engine.Options{Workers: *parallel, CacheEntries: *cacheEntries, CacheBytes: maxBytes}
+	if *storeDir != "" {
+		disk, err := engine.OpenDiskTier(*storeDir, parseBytesFlag("-store-bytes", *storeBytes), codec.New())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmt-server: -store-dir: %v\n", err)
 			os.Exit(2)
 		}
+		opts.Disk = disk
+	} else if *storeBytes != "" {
+		fmt.Fprintln(os.Stderr, "spmt-server: -store-bytes needs -store-dir")
+		os.Exit(2)
 	}
-	eng := engine.New(engine.Options{Workers: *parallel, CacheEntries: *cacheEntries, CacheBytes: maxBytes})
+	eng := engine.New(opts)
+	if *storeDir != "" {
+		start := time.Now()
+		n := eng.WarmFromDisk()
+		log.Printf("spmt-server: warmed %d artifacts from %s in %v",
+			n, *storeDir, time.Since(start).Round(time.Millisecond))
+	}
 	srv := server.New(eng)
 
 	hs := &http.Server{
@@ -59,16 +78,37 @@ func main() {
 		// Full-size figure sweeps are legitimately slow; no write
 		// timeout.
 	}
-	log.Printf("spmt-server: listening on %s (workers=%d, cache=%d entries, cache-bytes=%s)",
-		*addr, eng.Workers(), *cacheEntries, orUnbounded(*cacheBytes))
+	log.Printf("spmt-server: listening on %s (workers=%d, cache=%d entries, cache-bytes=%s, store=%s)",
+		*addr, eng.Workers(), *cacheEntries, orUnbounded(*cacheBytes), orMemoryOnly(*storeDir))
 	if err := hs.ListenAndServe(); err != nil {
 		log.Fatalf("spmt-server: %v", err)
 	}
 }
 
+// parseBytesFlag parses a byte-size flag, exiting with a usage error
+// on malformed input. Empty means unbounded (0).
+func parseBytesFlag(name, val string) int64 {
+	if val == "" {
+		return 0
+	}
+	b, err := engine.ParseBytes(val)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmt-server: %s: %v\n", name, err)
+		os.Exit(2)
+	}
+	return b
+}
+
 func orUnbounded(s string) string {
 	if s == "" {
 		return "unbounded"
+	}
+	return s
+}
+
+func orMemoryOnly(s string) string {
+	if s == "" {
+		return "memory-only"
 	}
 	return s
 }

@@ -1,0 +1,231 @@
+// Package binio provides the little-endian binary encoding helpers
+// behind every artifact codec (programs, traces, profiles, graphs,
+// matrices, spawn tables, simulation results). The encoding is
+// deterministic — map contents are written in sorted key order by the
+// callers — so the same artifact always serialises to the same bytes,
+// and decoding is hardened against corrupt input: the Reader carries a
+// sticky error instead of panicking, and collection counts are bounded
+// by the bytes actually remaining so a scribbled length prefix cannot
+// trigger a huge allocation.
+package binio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer appends primitives to a growing buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint
+// bytes (0 is fine).
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a fixed-width little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 writes a fixed-width little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// F64 writes a float64 as its IEEE-754 bits (exact round trip).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint writes a signed (zig-zag) varint.
+func (w *Writer) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Int writes an int as a signed varint.
+func (w *Writer) Int(v int) { w.Varint(int64(v)) }
+
+// Raw appends bytes with no length prefix.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Blob writes a length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.Raw(b)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes a buffer written by Writer. The first decode error
+// sticks: every later call returns a zero value, so callers check Err
+// (or Close) once at the end instead of after every read.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Close returns the sticky error, or an error if unread bytes remain —
+// a trailing-garbage check for fixed-layout decoders.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("binio: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// fail records the sticky error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// take returns the next n bytes, or nil after recording an error.
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.Remaining() < n {
+		r.fail("binio: truncated input (want %d bytes, have %d)", n, r.Remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool (any nonzero byte is true).
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a fixed-width little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a fixed-width little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("binio: bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed (zig-zag) varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("binio: bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.Varint()) }
+
+// Count reads a collection length and validates it against the bytes
+// remaining: each element needs at least elemMin bytes, so a corrupt
+// length prefix cannot provoke a multi-gigabyte allocation. elemMin
+// must be >= 1.
+func (r *Reader) Count(elemMin int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if v > uint64(r.Remaining()/elemMin) {
+		r.fail("binio: count %d exceeds %d remaining bytes (elem >= %d)", v, r.Remaining(), elemMin)
+		return 0
+	}
+	return int(v)
+}
+
+// Raw reads n bytes with no length prefix. The returned slice aliases
+// the input buffer.
+func (r *Reader) Raw(n int) []byte { return r.take(n) }
+
+// Blob reads a length-prefixed byte slice (aliasing the input buffer).
+func (r *Reader) Blob() []byte {
+	n := r.Count(1)
+	if r.err != nil {
+		return nil
+	}
+	return r.take(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Blob()) }

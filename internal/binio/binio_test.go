@@ -1,0 +1,102 @@
+package binio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(1 << 60)
+	w.F64(math.Pi)
+	w.F64(math.Inf(-1))
+	w.Uvarint(300)
+	w.Varint(-77)
+	w.Int(42)
+	w.String("hello")
+	w.Blob([]byte{1, 2, 3})
+	w.Raw([]byte{9, 9})
+
+	r := NewReader(w.Bytes())
+	if v := r.U8(); v != 7 {
+		t.Errorf("U8 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Errorf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 1<<60 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := r.F64(); !math.IsInf(v, -1) {
+		t.Errorf("F64 inf = %v", v)
+	}
+	if v := r.Uvarint(); v != 300 {
+		t.Errorf("Uvarint = %d", v)
+	}
+	if v := r.Varint(); v != -77 {
+		t.Errorf("Varint = %d", v)
+	}
+	if v := r.Int(); v != 42 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := r.String(); v != "hello" {
+		t.Errorf("String = %q", v)
+	}
+	if b := r.Blob(); len(b) != 3 || b[0] != 1 {
+		t.Errorf("Blob = %v", b)
+	}
+	if b := r.Raw(2); len(b) != 2 || b[1] != 9 {
+		t.Errorf("Raw = %v", b)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedStickyError(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(5)
+	r := NewReader(w.Bytes()[:3])
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Every later read is a zero value, no panic.
+	if r.U32() != 0 || r.String() != "" || r.Int() != 0 {
+		t.Error("reads after error must return zero values")
+	}
+	if r.Close() == nil {
+		t.Error("Close must surface the sticky error")
+	}
+}
+
+func TestCountGuardsAllocation(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1 << 40) // claims a trillion elements
+	r := NewReader(w.Bytes())
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Fatalf("Count = %d, err = %v; want guard error", n, r.Err())
+	}
+	if !strings.Contains(r.Err().Error(), "count") {
+		t.Errorf("unexpected error: %v", r.Err())
+	}
+}
+
+func TestCloseRejectsTrailingBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	_ = r.U8()
+	if err := r.Close(); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}

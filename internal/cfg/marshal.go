@@ -1,0 +1,79 @@
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/binio"
+)
+
+// graphVersion tags the Graph wire format.
+const graphVersion = 1
+
+// MarshalBinary serialises the graph (nodes, weighted adjacency,
+// coverage) deterministically. ByPC is derivable from Nodes and is
+// rebuilt on decode rather than stored.
+func (g *Graph) MarshalBinary() ([]byte, error) {
+	edges := 0
+	for _, s := range g.Succ {
+		edges += len(s)
+	}
+	w := binio.NewWriter(32 + len(g.Nodes)*20 + edges*12)
+	w.U8(graphVersion)
+	w.Uvarint(uint64(len(g.Nodes)))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		w.U32(n.PC)
+		w.Int(n.Len)
+		w.F64(n.Count)
+	}
+	if len(g.Succ) != len(g.Nodes) {
+		return nil, fmt.Errorf("cfg: %d adjacency lists for %d nodes", len(g.Succ), len(g.Nodes))
+	}
+	for _, succ := range g.Succ {
+		w.Uvarint(uint64(len(succ)))
+		for _, e := range succ {
+			w.Int(e.To)
+			w.F64(e.W)
+		}
+	}
+	w.F64(g.Coverage)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a graph written by MarshalBinary, rebuilding
+// the ByPC index.
+func (g *Graph) UnmarshalBinary(data []byte) error {
+	r := binio.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != graphVersion {
+		return fmt.Errorf("cfg: graph format version %d (want %d)", v, graphVersion)
+	}
+	nodes := make([]Node, r.Count(13))
+	for i := range nodes {
+		nodes[i] = Node{PC: r.U32(), Len: r.Int(), Count: r.F64()}
+	}
+	succ := make([][]Edge, len(nodes))
+	for i := range succ {
+		n := r.Count(9)
+		if n == 0 {
+			continue // keep leafs nil, as Build does
+		}
+		es := make([]Edge, n)
+		for j := range es {
+			es[j] = Edge{To: r.Int(), W: r.F64()}
+		}
+		succ[i] = es
+	}
+	coverage := r.F64()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	byPC := make(map[uint32]int, len(nodes))
+	for i := range nodes {
+		byPC[nodes[i].PC] = i
+	}
+	g.Nodes = nodes
+	g.Succ = succ
+	g.ByPC = byPC
+	g.Coverage = coverage
+	return nil
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binio"
+)
+
+// resultVersion tags the cluster.Result wire format. The scalar block
+// is written in struct declaration order; adding a field means bumping
+// the version so stale disk artifacts miss cleanly.
+const resultVersion = 1
+
+// MarshalBinary serialises the simulation result deterministically
+// (PairStats in sorted key order). The encoding is exact — float bits
+// round-trip — so a decoded result renders to byte-identical JSON.
+func (r *Result) MarshalBinary() ([]byte, error) {
+	w := binio.NewWriter(256 + len(r.PairStats)*64)
+	w.U8(resultVersion)
+	w.Varint(r.Cycles)
+	w.Varint(r.Committed)
+	w.Varint(r.Fetched)
+	w.F64(r.IPC)
+	w.F64(r.AvgActiveThreads)
+	w.F64(r.AvgAllocatedThreads)
+	w.Varint(r.ThreadsCommitted)
+	w.F64(r.AvgThreadSize)
+	w.Varint(r.Spawns)
+	w.Varint(r.SpawnsBlockedNoTU)
+	w.Varint(r.SpawnsBlockedOccupied)
+	w.Varint(r.SpawnsBlockedRegion)
+	w.Varint(r.MispredictStalls)
+	w.Varint(r.MemViolationSquashes)
+	w.Varint(r.ControlSquashes)
+	w.Varint(r.ThreadsKilled)
+	w.Varint(r.VPLookups)
+	w.Varint(r.VPHits)
+	w.Varint(r.PairsRemovedAlone)
+	w.Varint(r.PairsRemovedMinSize)
+	w.Varint(r.PairsRevisited)
+	w.Varint(r.Branches)
+	w.Varint(r.BranchMispredicts)
+	w.Uvarint(r.CacheHits)
+	w.Uvarint(r.CacheMisses)
+	w.Uvarint(r.SVCForwards)
+	w.Uvarint(r.SVCViolations)
+	w.Bool(r.PairStats != nil)
+	if r.PairStats != nil {
+		ids := make([]PairID, 0, len(r.PairStats))
+		for id := range r.PairStats {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].SP != ids[j].SP {
+				return ids[i].SP < ids[j].SP
+			}
+			return ids[i].CQIP < ids[j].CQIP
+		})
+		w.Uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			st := r.PairStats[id]
+			w.U32(id.SP)
+			w.U32(id.CQIP)
+			w.Varint(st.Spawns)
+			w.Varint(st.Committed)
+			w.Varint(st.CommitInstrs)
+			w.Varint(st.Doomed)
+			w.Varint(st.BlockedRegion)
+			w.Varint(st.BlockedNoTU)
+			w.Varint(st.Squashes)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a result written by MarshalBinary.
+func (r *Result) UnmarshalBinary(data []byte) error {
+	rd := binio.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != resultVersion {
+		return fmt.Errorf("cluster: result format version %d (want %d)", v, resultVersion)
+	}
+	var out Result
+	out.Cycles = rd.Varint()
+	out.Committed = rd.Varint()
+	out.Fetched = rd.Varint()
+	out.IPC = rd.F64()
+	out.AvgActiveThreads = rd.F64()
+	out.AvgAllocatedThreads = rd.F64()
+	out.ThreadsCommitted = rd.Varint()
+	out.AvgThreadSize = rd.F64()
+	out.Spawns = rd.Varint()
+	out.SpawnsBlockedNoTU = rd.Varint()
+	out.SpawnsBlockedOccupied = rd.Varint()
+	out.SpawnsBlockedRegion = rd.Varint()
+	out.MispredictStalls = rd.Varint()
+	out.MemViolationSquashes = rd.Varint()
+	out.ControlSquashes = rd.Varint()
+	out.ThreadsKilled = rd.Varint()
+	out.VPLookups = rd.Varint()
+	out.VPHits = rd.Varint()
+	out.PairsRemovedAlone = rd.Varint()
+	out.PairsRemovedMinSize = rd.Varint()
+	out.PairsRevisited = rd.Varint()
+	out.Branches = rd.Varint()
+	out.BranchMispredicts = rd.Varint()
+	out.CacheHits = rd.Uvarint()
+	out.CacheMisses = rd.Uvarint()
+	out.SVCForwards = rd.Uvarint()
+	out.SVCViolations = rd.Uvarint()
+	if rd.Bool() {
+		n := rd.Count(10)
+		out.PairStats = make(map[PairID]*PairStat, n)
+		for ; n > 0; n-- {
+			id := PairID{SP: rd.U32(), CQIP: rd.U32()}
+			out.PairStats[id] = &PairStat{
+				Spawns:        rd.Varint(),
+				Committed:     rd.Varint(),
+				CommitInstrs:  rd.Varint(),
+				Doomed:        rd.Varint(),
+				BlockedRegion: rd.Varint(),
+				BlockedNoTU:   rd.Varint(),
+				Squashes:      rd.Varint(),
+			}
+		}
+	}
+	if err := rd.Close(); err != nil {
+		return err
+	}
+	*r = out
+	return nil
+}

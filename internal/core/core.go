@@ -193,11 +193,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// sameGraph reports whether the reach result's graph describes the
+// same node set as g. Pointer equality is the fast path; a decoded
+// artifact (the engine's disk tier round-trips reach results and CFGs
+// independently) is an equal-content copy, so fall back to comparing
+// the node identity that the matrices are indexed by.
+func sameGraph(a, b *cfg.Graph) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].PC != b.Nodes[i].PC {
+			return false
+		}
+	}
+	return true
+}
+
 // Select runs the full profile-based selection over a pruned CFG, its
 // reach analysis, and the trace (for dependence analysis).
 func Select(pr *emu.Profile, g *cfg.Graph, r *reach.Result, tr *trace.Trace, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
-	if r.G != g {
+	if !sameGraph(r.G, g) {
 		return nil, fmt.Errorf("core: reach result computed over a different graph")
 	}
 	n := len(g.Nodes)

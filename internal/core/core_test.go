@@ -229,11 +229,21 @@ func TestSelectGraphMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	g1, _ := cfg.Build(res.Profile).Prune(0.9, 0)
-	g2, _ := cfg.Build(res.Profile).Prune(0.9, 0)
 	r, err := reach.Compute(g1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// An equal-content copy (the engine's disk tier round-trips reach
+	// results and graphs as independent artifacts) must be accepted:
+	// the matrices index the same node set.
+	copyG, _ := cfg.Build(res.Profile).Prune(0.9, 0)
+	if _, err := Select(res.Profile, copyG, r, res.Trace, Config{}); err != nil {
+		t.Errorf("equal-content graph copy rejected: %v", err)
+	}
+	// A genuinely different node set must still be rejected.
+	g2, _ := cfg.Build(res.Profile).Prune(0.9, 0)
+	g2.Nodes = append([]cfg.Node(nil), g2.Nodes...)
+	g2.Nodes[0].PC++
 	if _, err := Select(res.Profile, g2, r, res.Trace, Config{}); err == nil {
 		t.Error("expected graph-mismatch error")
 	}

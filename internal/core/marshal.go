@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binio"
+	"repro/internal/isa"
+)
+
+// tableVersion tags the Table wire format.
+const tableVersion = 1
+
+// minPairBytes is the least bytes one encoded Pair can occupy, used to
+// bound decode-side allocations against corrupt length prefixes.
+const minPairBytes = 39
+
+func writePair(w *binio.Writer, p *Pair) {
+	w.U32(p.SP)
+	w.U32(p.CQIP)
+	w.Int(int(p.Kind))
+	w.U32(p.LoopEnd)
+	w.F64(p.Prob)
+	w.F64(p.Dist)
+	w.F64(p.Score)
+	writeRegs := func(regs []isa.Reg) {
+		w.Uvarint(uint64(len(regs)))
+		for _, r := range regs {
+			w.U8(uint8(r))
+		}
+	}
+	writeRegs(p.LiveIns)
+	writeRegs(p.Predictable)
+	w.F64(p.AvgIndep)
+	w.F64(p.AvgPred)
+}
+
+func readPair(r *binio.Reader) Pair {
+	p := Pair{
+		SP:      r.U32(),
+		CQIP:    r.U32(),
+		Kind:    PairKind(r.Int()),
+		LoopEnd: r.U32(),
+		Prob:    r.F64(),
+		Dist:    r.F64(),
+		Score:   r.F64(),
+	}
+	readRegs := func() []isa.Reg {
+		n := r.Count(1)
+		if n == 0 {
+			return nil
+		}
+		regs := make([]isa.Reg, n)
+		for i := range regs {
+			regs[i] = isa.Reg(r.U8())
+		}
+		return regs
+	}
+	p.LiveIns = readRegs()
+	p.Predictable = readRegs()
+	p.AvgIndep = r.F64()
+	p.AvgPred = r.F64()
+	return p
+}
+
+// MarshalBinary serialises the spawn-pair table deterministically: the
+// alternates map is written in sorted SP order.
+func (t *Table) MarshalBinary() ([]byte, error) {
+	alts := 0
+	for _, a := range t.Alternates {
+		alts += len(a)
+	}
+	w := binio.NewWriter(64 + (len(t.Primary)+alts)*64)
+	w.U8(tableVersion)
+	w.Uvarint(uint64(len(t.Primary)))
+	for i := range t.Primary {
+		writePair(w, &t.Primary[i])
+	}
+	sps := make([]uint32, 0, len(t.Alternates))
+	for sp := range t.Alternates {
+		sps = append(sps, sp)
+	}
+	sort.Slice(sps, func(i, j int) bool { return sps[i] < sps[j] })
+	w.Uvarint(uint64(len(sps)))
+	for _, sp := range sps {
+		w.U32(sp)
+		pairs := t.Alternates[sp]
+		w.Uvarint(uint64(len(pairs)))
+		for i := range pairs {
+			writePair(w, &pairs[i])
+		}
+	}
+	w.Int(t.TotalCandidates)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a table written by MarshalBinary.
+func (t *Table) UnmarshalBinary(data []byte) error {
+	r := binio.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != tableVersion {
+		return fmt.Errorf("core: table format version %d (want %d)", v, tableVersion)
+	}
+	var primary []Pair
+	if n := r.Count(minPairBytes); n > 0 {
+		primary = make([]Pair, n)
+		for i := range primary {
+			primary[i] = readPair(r)
+		}
+	}
+	// Alternates is always a live map on a built table (Select and
+	// heuristic.Pairs both allocate it), so decode matches.
+	alternates := make(map[uint32][]Pair)
+	for n := r.Count(5); n > 0; n-- {
+		sp := r.U32()
+		pairs := make([]Pair, r.Count(minPairBytes))
+		for i := range pairs {
+			pairs[i] = readPair(r)
+		}
+		alternates[sp] = pairs
+	}
+	total := r.Int()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	t.Primary = primary
+	t.Alternates = alternates
+	t.TotalCandidates = total
+	return nil
+}

@@ -1,0 +1,220 @@
+package emu
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binio"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// Wire-format version tags; bump on layout changes.
+const (
+	profileVersion = 1
+	resultVersion  = 1
+)
+
+// MarshalBinary serialises the profile (program, block structure, and
+// dynamic counts) deterministically: every map is written in sorted key
+// order, so the same profile always produces the same bytes.
+func (pr *Profile) MarshalBinary() ([]byte, error) {
+	var prog []byte
+	if pr.Program != nil {
+		var err error
+		if prog, err = pr.Program.MarshalBinary(); err != nil {
+			return nil, err
+		}
+	}
+	w := binio.NewWriter(64 + len(prog) + len(pr.Leaders)*4 +
+		(len(pr.BlockLen)+len(pr.BlockCount))*12 + len(pr.EdgeCount)*16 + len(pr.CallSites)*20)
+	w.U8(profileVersion)
+	w.Bool(pr.Program != nil)
+	if pr.Program != nil {
+		w.Blob(prog)
+	}
+	w.Uvarint(uint64(len(pr.Leaders)))
+	for _, l := range pr.Leaders {
+		w.U32(l)
+	}
+	writeU32Map := func(n int, keys []uint32, val func(uint32)) {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.Uvarint(uint64(n))
+		for _, k := range keys {
+			w.U32(k)
+			val(k)
+		}
+	}
+	blKeys := make([]uint32, 0, len(pr.BlockLen))
+	for k := range pr.BlockLen {
+		blKeys = append(blKeys, k)
+	}
+	writeU32Map(len(pr.BlockLen), blKeys, func(k uint32) { w.Int(pr.BlockLen[k]) })
+	bcKeys := make([]uint32, 0, len(pr.BlockCount))
+	for k := range pr.BlockCount {
+		bcKeys = append(bcKeys, k)
+	}
+	writeU32Map(len(pr.BlockCount), bcKeys, func(k uint32) { w.U64(pr.BlockCount[k]) })
+	edges := make([]Edge, 0, len(pr.EdgeCount))
+	for e := range pr.EdgeCount {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	w.Uvarint(uint64(len(edges)))
+	for _, e := range edges {
+		w.U32(e.From)
+		w.U32(e.To)
+		w.U64(pr.EdgeCount[e])
+	}
+	csKeys := make([]uint32, 0, len(pr.CallSites))
+	for k := range pr.CallSites {
+		csKeys = append(csKeys, k)
+	}
+	writeU32Map(len(pr.CallSites), csKeys, func(k uint32) {
+		cs := pr.CallSites[k]
+		w.U64(cs.Count)
+		w.U64(cs.TotalInstrs)
+	})
+	w.U64(pr.TotalInstrs)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a profile written by MarshalBinary and
+// rebuilds the leader-set fast path from the decoded program.
+func (pr *Profile) UnmarshalBinary(data []byte) error {
+	r := binio.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != profileVersion {
+		return fmt.Errorf("emu: profile format version %d (want %d)", v, profileVersion)
+	}
+	var prog *isa.Program
+	if r.Bool() {
+		prog = new(isa.Program)
+		if b := r.Blob(); r.Err() == nil {
+			if err := prog.UnmarshalBinary(b); err != nil {
+				return fmt.Errorf("emu: profile program: %w", err)
+			}
+		}
+	}
+	leaders := make([]uint32, r.Count(4))
+	for i := range leaders {
+		leaders[i] = r.U32()
+	}
+	blockLen := make(map[uint32]int, 16)
+	for n := r.Count(5); n > 0; n-- {
+		k := r.U32()
+		blockLen[k] = r.Int()
+	}
+	blockCount := make(map[uint32]uint64, 16)
+	for n := r.Count(12); n > 0; n-- {
+		k := r.U32()
+		blockCount[k] = r.U64()
+	}
+	edgeCount := make(map[Edge]uint64, 16)
+	for n := r.Count(16); n > 0; n-- {
+		e := Edge{From: r.U32(), To: r.U32()}
+		edgeCount[e] = r.U64()
+	}
+	callSites := make(map[uint32]CallStat, 8)
+	for n := r.Count(20); n > 0; n-- {
+		k := r.U32()
+		callSites[k] = CallStat{Count: r.U64(), TotalInstrs: r.U64()}
+	}
+	total := r.U64()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	pr.Program = prog
+	pr.Leaders = leaders
+	pr.BlockLen = blockLen
+	pr.BlockCount = blockCount
+	pr.EdgeCount = edgeCount
+	pr.CallSites = callSites
+	pr.TotalInstrs = total
+	pr.leaderSet = nil
+	if prog != nil {
+		set := make([]bool, len(prog.Code))
+		for _, l := range leaders {
+			if int(l) < len(set) {
+				set[l] = true
+			}
+		}
+		pr.leaderSet = set
+	}
+	return nil
+}
+
+// MarshalBinary serialises the emulation result (trace, profile,
+// dynamic instruction count) as one self-contained artifact.
+func (r *Result) MarshalBinary() ([]byte, error) {
+	var tr []byte
+	if r.Trace != nil {
+		var err error
+		if tr, err = r.Trace.MarshalBinary(); err != nil {
+			return nil, err
+		}
+	}
+	var prof []byte
+	if r.Profile != nil {
+		var err error
+		if prof, err = r.Profile.MarshalBinary(); err != nil {
+			return nil, err
+		}
+	}
+	w := binio.NewWriter(32 + len(tr) + len(prof))
+	w.U8(resultVersion)
+	w.Bool(r.Trace != nil)
+	if r.Trace != nil {
+		w.Blob(tr)
+	}
+	w.Bool(r.Profile != nil)
+	if r.Profile != nil {
+		w.Blob(prof)
+	}
+	w.Int(r.Instrs)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a result written by MarshalBinary. When both
+// the trace and the profile are present, the profile is re-pointed at
+// the trace's program, restoring the aliasing a fresh emulation run
+// produces (one *isa.Program shared by both).
+func (r *Result) UnmarshalBinary(data []byte) error {
+	rd := binio.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != resultVersion {
+		return fmt.Errorf("emu: result format version %d (want %d)", v, resultVersion)
+	}
+	var tr *trace.Trace
+	if rd.Bool() {
+		tr = new(trace.Trace)
+		if b := rd.Blob(); rd.Err() == nil {
+			if err := tr.UnmarshalBinary(b); err != nil {
+				return fmt.Errorf("emu: result trace: %w", err)
+			}
+		}
+	}
+	var prof *Profile
+	if rd.Bool() {
+		prof = new(Profile)
+		if b := rd.Blob(); rd.Err() == nil {
+			if err := prof.UnmarshalBinary(b); err != nil {
+				return fmt.Errorf("emu: result profile: %w", err)
+			}
+		}
+	}
+	instrs := rd.Int()
+	if err := rd.Close(); err != nil {
+		return err
+	}
+	if tr != nil && prof != nil && tr.Program != nil {
+		prof.Program = tr.Program
+	}
+	r.Trace = tr
+	r.Profile = prof
+	r.Instrs = instrs
+	return nil
+}

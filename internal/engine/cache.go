@@ -16,6 +16,7 @@ import (
 	"container/list"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math"
 	"strconv"
 	"strings"
@@ -39,11 +40,18 @@ type Sizer interface {
 // Sizer (small results, scalars).
 const defaultEntryBytes = 1 << 10
 
-// sizeOf returns the byte cost charged for an artifact.
+// sizeOf returns the byte cost charged for an artifact. A Sizer that
+// reports a non-positive size is charged the default: a negative size
+// would corrupt the byte ledger (and a zero-byte entry would divide
+// hit-rate math by zero), so it is logged and clamped, never trusted
+// and never a panic.
 func sizeOf(v any) int64 {
 	if s, ok := v.(Sizer); ok {
-		if b := s.ApproxBytes(); b > 0 {
+		switch b := s.ApproxBytes(); {
+		case b > 0:
 			return b
+		case b < 0:
+			log.Printf("engine: %T reports negative ApproxBytes %d; charging default %d", v, b, defaultEntryBytes)
 		}
 	}
 	return defaultEntryBytes
@@ -68,7 +76,8 @@ type cacheEntry struct {
 	bytes int64
 }
 
-// Cache is the LRU artifact store shared by all workers of an Engine.
+// Cache is the in-memory LRU tier of the artifact store, shared by all
+// workers of an Engine.
 type Cache struct {
 	mu        sync.Mutex
 	capacity  int
@@ -79,6 +88,10 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// onEvict, when set, receives every evicted entry after the cache
+	// lock is released — the tiered store uses it to demote evictions
+	// to the disk tier.
+	onEvict func(key string, val any)
 }
 
 // NewCache returns an empty cache holding at most capacity entries
@@ -105,17 +118,32 @@ func NewCacheSized(capacity int, maxBytes int64) *Cache {
 	}
 }
 
+// OnEvict registers a callback receiving every entry the cache evicts.
+// It is invoked after the cache lock is released, so the callback may
+// freely call back into the cache or perform I/O (the disk tier's
+// demotion path). Set it before the cache is shared across goroutines.
+func (c *Cache) OnEvict(fn func(key string, val any)) { c.onEvict = fn }
+
 // Get returns the artifact stored under key, marking it most recently
 // used. The second result reports whether the key was present.
-func (c *Cache) Get(key string) (any, bool) {
+func (c *Cache) Get(key string) (any, bool) { return c.lookup(key, true) }
+
+// lookup is Get with optional stats recording: the tiered store's
+// promotion path re-checks membership without double-counting a
+// hit or miss.
+func (c *Cache) lookup(key string, record bool) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		if record {
+			c.misses++
+		}
 		return nil, false
 	}
-	c.hits++
+	if record {
+		c.hits++
+	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
@@ -126,23 +154,30 @@ func (c *Cache) Get(key string) (any, bool) {
 func (c *Cache) Add(key string, val any) {
 	bytes := sizeOf(val)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*cacheEntry)
 		c.bytes += bytes - ent.bytes
 		ent.val, ent.bytes = val, bytes
 		c.ll.MoveToFront(el)
-		c.evict()
-		return
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, bytes: bytes})
+		c.bytes += bytes
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, bytes: bytes})
-	c.bytes += bytes
-	c.evict()
+	evicted := c.evict()
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, ent := range evicted {
+			c.onEvict(ent.key, ent.val)
+		}
+	}
 }
 
 // evict drops LRU entries until both budgets hold, always keeping the
-// most recently used entry. Callers must hold c.mu.
-func (c *Cache) evict() {
+// most recently used entry, and returns the dropped entries so Add can
+// hand them to the eviction callback outside the lock. Callers must
+// hold c.mu.
+func (c *Cache) evict() []*cacheEntry {
+	var evicted []*cacheEntry
 	for c.ll.Len() > 1 &&
 		(c.ll.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
@@ -151,7 +186,11 @@ func (c *Cache) evict() {
 		delete(c.items, ent.key)
 		c.bytes -= ent.bytes
 		c.evictions++
+		if c.onEvict != nil {
+			evicted = append(evicted, ent)
+		}
 	}
+	return evicted
 }
 
 // Len returns the number of resident artifacts.

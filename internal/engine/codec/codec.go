@@ -1,0 +1,134 @@
+// Package codec implements engine.Codec over the repository's artifact
+// types: it maps every cacheable pipeline artifact — programs, traces,
+// profiles, emulation results, pruned CFGs, dense matrices, reach
+// results, spawn tables, simulation results — to a short kind tag and
+// its binary wire form (each type's MarshalBinary/UnmarshalBinary), so
+// the engine's disk tier can persist and restore them without knowing
+// the types themselves.
+//
+// Artifact types outside this table (e.g. the expt.Bench composite,
+// which is cheaply reassembled from its cached stages) simply stay
+// memory-only: Encode reports ok=false and the engine skips the disk
+// write.
+package codec
+
+import (
+	"encoding"
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/linalg"
+	"repro/internal/reach"
+	"repro/internal/trace"
+)
+
+// Kind tags stored in artifact file headers. Stable across releases:
+// renaming one orphans every existing disk artifact of that kind.
+const (
+	kindProgram = "program"
+	kindTrace   = "trace"
+	kindProfile = "profile"
+	kindEmu     = "emu"
+	kindGraph   = "cfg"
+	kindMatrix  = "matrix"
+	kindReach   = "reach"
+	kindTable   = "table"
+	kindSim     = "sim"
+)
+
+// decoders maps a kind tag to a constructor for its zero artifact.
+var decoders = map[string]func() encoding.BinaryUnmarshaler{
+	kindProgram: func() encoding.BinaryUnmarshaler { return new(isa.Program) },
+	kindTrace:   func() encoding.BinaryUnmarshaler { return new(trace.Trace) },
+	kindProfile: func() encoding.BinaryUnmarshaler { return new(emu.Profile) },
+	kindEmu:     func() encoding.BinaryUnmarshaler { return new(emu.Result) },
+	kindGraph:   func() encoding.BinaryUnmarshaler { return new(cfg.Graph) },
+	kindMatrix:  func() encoding.BinaryUnmarshaler { return new(linalg.Matrix) },
+	kindReach:   func() encoding.BinaryUnmarshaler { return new(reach.Result) },
+	kindTable:   func() encoding.BinaryUnmarshaler { return new(core.Table) },
+	kindSim:     func() encoding.BinaryUnmarshaler { return new(cluster.Result) },
+}
+
+// artifactCodec implements engine.Codec; see New.
+type artifactCodec struct{}
+
+// New returns the codec covering every disk-persistable artifact type.
+func New() engine.Codec { return artifactCodec{} }
+
+// Encode maps v to its kind tag and wire form. A nil typed pointer or
+// a type outside the artifact table reports ok=false (memory-only).
+func (artifactCodec) Encode(v any) (kind string, data []byte, ok bool, err error) {
+	var m encoding.BinaryMarshaler
+	switch a := v.(type) {
+	case *isa.Program:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindProgram, a
+	case *trace.Trace:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindTrace, a
+	case *emu.Profile:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindProfile, a
+	case *emu.Result:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindEmu, a
+	case *cfg.Graph:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindGraph, a
+	case *linalg.Matrix:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindMatrix, a
+	case *reach.Result:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindReach, a
+	case *core.Table:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindTable, a
+	case *cluster.Result:
+		if a == nil {
+			return "", nil, false, nil
+		}
+		kind, m = kindSim, a
+	default:
+		return "", nil, false, nil
+	}
+	data, err = m.MarshalBinary()
+	if err != nil {
+		return "", nil, false, fmt.Errorf("codec: encode %s: %w", kind, err)
+	}
+	return kind, data, true, nil
+}
+
+// Decode reconstructs an artifact of the given kind.
+func (artifactCodec) Decode(kind string, data []byte) (any, error) {
+	mk, ok := decoders[kind]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown artifact kind %q", kind)
+	}
+	v := mk()
+	if err := v.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("codec: decode %s: %w", kind, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,441 @@
+// Disk tier of the artifact store: one file per artifact under a
+// store directory, named by a hash of the content key. Writes are
+// atomic (temp file + rename), the tier is byte-budgeted with
+// LRU eviction, and reads are corruption-tolerant: a truncated,
+// scribbled, or stale-format file is treated as a miss and deleted so
+// the next Put rewrites it — never a panic, never a fatal error.
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/binio"
+)
+
+// artMagic leads every artifact file; a version bump means old files
+// are deleted on first touch rather than misread.
+const artMagic = "SPMTART1"
+
+// artExt is the artifact file extension; tmpPrefix marks in-progress
+// writes, cleaned up at Open (a crash mid-write leaves only tmp files,
+// never a truncated artifact under its final name).
+const (
+	artExt    = ".art"
+	tmpPrefix = "tmp-"
+)
+
+// DiskStats is a point-in-time snapshot of disk-tier effectiveness.
+type DiskStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Writes    uint64 `json:"writes"`
+	Evictions uint64 `json:"evictions"`
+	// Errors counts corrupt or unreadable artifact files dropped
+	// (each also counts as a miss) and failed writes.
+	Errors  uint64 `json:"errors"`
+	Entries int    `json:"entries"`
+	// BytesResident is the total size of resident artifact files;
+	// BytesCapacity is the byte budget (0 = unbounded).
+	BytesResident int64 `json:"bytes_resident"`
+	BytesCapacity int64 `json:"bytes_capacity,omitempty"`
+}
+
+type diskEntry struct {
+	key   string
+	path  string
+	bytes int64
+}
+
+// DiskTier is the persistent tier of the artifact store. All methods
+// are safe for concurrent use.
+type DiskTier struct {
+	dir      string
+	maxBytes int64 // 0 = unbounded
+	codec    Codec
+
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	writes    uint64
+	evictions uint64
+	errors    uint64
+}
+
+// OpenDiskTier opens (creating if needed) a disk tier rooted at dir,
+// bounded by maxBytes (<= 0 means unbounded), using codec to
+// serialise artifacts. Existing artifact files are indexed by reading
+// their headers only — payloads are decoded lazily on Get — ordered
+// oldest-modified first so eviction drops stale artifacts before warm
+// ones. Leftover temp files from an interrupted write are removed;
+// unreadable artifact files are deleted and counted, never fatal.
+func OpenDiskTier(dir string, maxBytes int64, codec Codec) (*DiskTier, error) {
+	if codec == nil {
+		return nil, fmt.Errorf("engine: disk tier needs a codec")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: disk tier: %w", err)
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	t := &DiskTier{
+		dir:      dir,
+		maxBytes: maxBytes,
+		codec:    codec,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: disk tier: %w", err)
+	}
+	type scanned struct {
+		ent   *diskEntry
+		mtime int64
+	}
+	var found []scanned
+	for _, de := range entries {
+		name := de.Name()
+		path := filepath.Join(dir, name)
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(path) //nolint:errcheck // best-effort cleanup
+			continue
+		}
+		if de.IsDir() || !strings.HasSuffix(name, artExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		key, ok := t.readHeader(path)
+		if !ok {
+			t.errors++
+			os.Remove(path) //nolint:errcheck // corrupt file, drop it
+			continue
+		}
+		found = append(found, scanned{
+			ent:   &diskEntry{key: key, path: path, bytes: info.Size()},
+			mtime: info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	// Push oldest first so the list front ends up most recent.
+	for _, s := range found {
+		if _, dup := t.items[s.ent.key]; dup {
+			continue
+		}
+		t.items[s.ent.key] = t.ll.PushFront(s.ent)
+		t.bytes += s.ent.bytes
+	}
+	t.mu.Lock()
+	t.evict()
+	t.mu.Unlock()
+	return t, nil
+}
+
+// Dir returns the store directory.
+func (t *DiskTier) Dir() string { return t.dir }
+
+// artPath maps a content key to its file path: keys contain slashes
+// and arbitrary config hashes, so the name is a digest of the key
+// (the key itself is stored in the file header and verified on read).
+func (t *DiskTier) artPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(t.dir, hex.EncodeToString(sum[:20])+artExt)
+}
+
+// encodeFile renders the on-disk artifact image: header, payload, and
+// a trailing CRC over everything before it.
+func encodeFile(kind, key string, data []byte) []byte {
+	w := binio.NewWriter(len(artMagic) + len(kind) + len(key) + len(data) + 24)
+	w.Raw([]byte(artMagic))
+	w.String(kind)
+	w.String(key)
+	w.Blob(data)
+	w.U32(crc32.ChecksumIEEE(w.Bytes()))
+	return w.Bytes()
+}
+
+// decodeFile parses an artifact image, verifying magic and CRC.
+func decodeFile(img []byte) (kind, key string, data []byte, err error) {
+	if len(img) < len(artMagic)+4 {
+		return "", "", nil, fmt.Errorf("artifact file too short (%d bytes)", len(img))
+	}
+	body, sum := img[:len(img)-4], img[len(img)-4:]
+	r := binio.NewReader(body)
+	if string(r.Raw(len(artMagic))) != artMagic {
+		return "", "", nil, fmt.Errorf("bad artifact magic")
+	}
+	kind = r.String()
+	key = r.String()
+	data = r.Blob()
+	if err := r.Close(); err != nil {
+		return "", "", nil, err
+	}
+	r2 := binio.NewReader(sum)
+	if got := crc32.ChecksumIEEE(body); got != r2.U32() {
+		return "", "", nil, fmt.Errorf("artifact checksum mismatch")
+	}
+	return kind, key, data, nil
+}
+
+// readHeader parses only magic/kind/key from the start of a file —
+// enough to index it at Open without decoding the payload.
+func (t *DiskTier) readHeader(path string) (key string, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false
+	}
+	defer f.Close()
+	// Kind and key are short; 4KB covers any header this repo writes.
+	buf := make([]byte, 4096)
+	n, _ := f.Read(buf)
+	r := binio.NewReader(buf[:n])
+	if string(r.Raw(len(artMagic))) != artMagic {
+		return "", false
+	}
+	_ = r.String() // kind
+	key = r.String()
+	if r.Err() != nil || key == "" {
+		return "", false
+	}
+	return key, true
+}
+
+// Has reports whether key is resident on disk (no recency update).
+func (t *DiskTier) Has(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.items[key]
+	return ok
+}
+
+// Keys returns the resident keys, least recently used first (the order
+// a memory warm-up should replay them so the hottest end up freshest).
+func (t *DiskTier) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, t.ll.Len())
+	for e := t.ll.Back(); e != nil; e = e.Prev() {
+		keys = append(keys, e.Value.(*diskEntry).key)
+	}
+	return keys
+}
+
+// EntryInfo describes one resident artifact for warm-up planning: the
+// file size approximates the decoded artifact's resident cost.
+type EntryInfo struct {
+	Key   string
+	Bytes int64
+}
+
+// Entries returns the resident artifacts, least recently used first.
+func (t *DiskTier) Entries() []EntryInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]EntryInfo, 0, t.ll.Len())
+	for e := t.ll.Back(); e != nil; e = e.Prev() {
+		ent := e.Value.(*diskEntry)
+		out = append(out, EntryInfo{Key: ent.key, Bytes: ent.bytes})
+	}
+	return out
+}
+
+// Get reads, verifies, and decodes the artifact stored under key. Any
+// corruption — truncation, checksum mismatch, key collision, codec
+// failure — deletes the file and reports a miss, so the artifact is
+// simply recomputed and rewritten.
+func (t *DiskTier) Get(key string) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.items[key]
+	if !ok {
+		t.misses++
+		return nil, false
+	}
+	ent := el.Value.(*diskEntry)
+	v, err := t.load(ent, key)
+	if err != nil {
+		t.dropLocked(el)
+		t.errors++
+		t.misses++
+		log.Printf("engine: disk tier: dropping %s: %v", ent.path, err)
+		return nil, false
+	}
+	t.hits++
+	t.ll.MoveToFront(el)
+	return v, true
+}
+
+// load reads and decodes one artifact file. Callers must hold t.mu.
+func (t *DiskTier) load(ent *diskEntry, key string) (any, error) {
+	img, err := os.ReadFile(ent.path)
+	if err != nil {
+		return nil, err
+	}
+	kind, fileKey, data, err := decodeFile(img)
+	if err != nil {
+		return nil, err
+	}
+	if fileKey != key {
+		return nil, fmt.Errorf("key collision: file holds %q", fileKey)
+	}
+	v, err := t.codec.Decode(kind, data)
+	if err != nil {
+		return nil, fmt.Errorf("decode %q: %w", kind, err)
+	}
+	return v, nil
+}
+
+// Put persists the artifact under key if its type has a codec and it
+// is not already resident. The write is atomic: a temp file in the
+// store directory renamed into place, so readers never observe a
+// partial artifact under a final name.
+func (t *DiskTier) Put(key string, val any) {
+	if key == "" || t.Has(key) {
+		return
+	}
+	kind, data, ok, err := t.codec.Encode(val)
+	if err != nil {
+		t.fail("encode %T: %v", val, err)
+		return
+	}
+	if !ok {
+		return // memory-only artifact type
+	}
+	if len(data) == 0 {
+		// A zero-byte artifact would index as resident yet decode to
+		// nothing; refuse it loudly instead of corrupting hit math.
+		log.Printf("engine: disk tier: refusing zero-byte artifact %q (%T)", key, val)
+		return
+	}
+	img := encodeFile(kind, key, data)
+	path := t.artPath(key)
+
+	// Write the temp file outside the tier lock: trace-sized images
+	// are tens of megabytes, and holding t.mu across the write would
+	// stall every concurrent Get/Put on the completion path. Only the
+	// dup-check, rename, and index insert are serialised.
+	tmp, err := os.CreateTemp(t.dir, tmpPrefix+"*")
+	if err != nil {
+		t.fail("create temp: %v", err)
+		return
+	}
+	_, werr := tmp.Write(img)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		t.fail("write %s: %v", path, firstErr(werr, cerr))
+		return
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.items[key]; dup {
+		// Lost a write race; identical content either way.
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		t.failLocked("rename %s: %v", path, err)
+		return
+	}
+	t.items[key] = t.ll.PushFront(&diskEntry{key: key, path: path, bytes: int64(len(img))})
+	t.bytes += int64(len(img))
+	t.writes++
+	t.evict()
+}
+
+// Demote writes a memory-tier eviction to disk unless it is already
+// resident (the write-through path usually got there first).
+func (t *DiskTier) Demote(key string, val any) { t.Put(key, val) }
+
+// evict removes least recently used artifact files until the byte
+// budget holds, always keeping the most recently used artifact.
+// Callers must hold t.mu.
+func (t *DiskTier) evict() {
+	for t.maxBytes > 0 && t.bytes > t.maxBytes && t.ll.Len() > 1 {
+		oldest := t.ll.Back()
+		if oldest == nil {
+			return
+		}
+		t.dropLocked(oldest)
+		t.evictions++
+	}
+}
+
+// dropLocked removes an entry and its file. Callers must hold t.mu.
+func (t *DiskTier) dropLocked(el *list.Element) {
+	ent := el.Value.(*diskEntry)
+	os.Remove(ent.path) //nolint:errcheck // already dropping it
+	t.ll.Remove(el)
+	delete(t.items, ent.key)
+	t.bytes -= ent.bytes
+}
+
+func (t *DiskTier) fail(format string, args ...any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failLocked(format, args...)
+}
+
+// failLocked logs a non-fatal disk-tier failure. Callers must hold
+// t.mu.
+func (t *DiskTier) failLocked(format string, args ...any) {
+	t.errors++
+	log.Printf("engine: disk tier: "+format, args...)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of resident artifacts.
+func (t *DiskTier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ll.Len()
+}
+
+// Bytes returns the total size of resident artifact files.
+func (t *DiskTier) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// Stats snapshots the disk-tier counters.
+func (t *DiskTier) Stats() DiskStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return DiskStats{
+		Hits:          t.hits,
+		Misses:        t.misses,
+		Writes:        t.writes,
+		Evictions:     t.evictions,
+		Errors:        t.errors,
+		Entries:       t.ll.Len(),
+		BytesResident: t.bytes,
+		BytesCapacity: t.maxBytes,
+	}
+}

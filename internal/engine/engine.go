@@ -51,11 +51,19 @@ type Options struct {
 	// charged their reported size; traces dominate, so a byte budget
 	// keeps memory flat where an entry count alone would not.
 	CacheBytes int64
+	// Disk, when non-nil, backs the in-memory cache with a persistent
+	// tier: cache misses read through to disk (promoting hits into
+	// memory), computed artifacts are written through, and memory
+	// evictions are demoted instead of discarded. See OpenDiskTier.
+	Disk *DiskTier
 }
 
 // Stats is a point-in-time snapshot of engine activity.
 type Stats struct {
+	// Cache is the in-memory tier of the artifact store; Disk is the
+	// persistent tier (absent when the engine runs memory-only).
 	Cache CacheStats `json:"cache"`
+	Disk  *DiskStats `json:"disk,omitempty"`
 	// Executed counts Run invocations (cache misses that were not
 	// deduplicated onto another caller's in-flight run).
 	Executed uint64 `json:"executed"`
@@ -81,7 +89,9 @@ type call struct {
 // each other's warm artifacts.
 type Engine struct {
 	slots    chan struct{}
-	cache    *Cache
+	store    Store
+	mem      *Cache
+	disk     *DiskTier
 	latency  *latencyRecorder
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -95,9 +105,16 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	mem := NewCacheSized(opts.CacheEntries, opts.CacheBytes)
+	var store Store = mem
+	if opts.Disk != nil {
+		store = NewTieredStore(mem, opts.Disk)
+	}
 	return &Engine{
 		slots:    make(chan struct{}, w),
-		cache:    NewCacheSized(opts.CacheEntries, opts.CacheBytes),
+		store:    store,
+		mem:      mem,
+		disk:     opts.Disk,
 		latency:  newLatencyRecorder(),
 		inflight: make(map[string]*call),
 	}
@@ -108,13 +125,57 @@ func (e *Engine) Workers() int { return cap(e.slots) }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Cache:    e.cache.Stats(),
+	s := Stats{
+		Cache:    e.mem.Stats(),
 		Executed: e.executed.Load(),
 		Deduped:  e.deduped.Load(),
 		Workers:  cap(e.slots),
 		Latency:  e.latency.snapshot(),
 	}
+	if e.disk != nil {
+		ds := e.disk.Stats()
+		s.Disk = &ds
+	}
+	return s
+}
+
+// Disk returns the engine's disk tier, or nil when memory-only.
+func (e *Engine) Disk() *DiskTier { return e.disk }
+
+// WarmFromDisk promotes disk-resident artifacts into the memory tier —
+// the cold-start path for a server or CLI pointed at a warm store
+// directory — and returns how many artifacts were loaded. Only the
+// most-recently-used artifacts that fit the memory budget are decoded
+// (file size approximates resident cost), so boot time scales with
+// the memory tier, not the store directory; the selected set is then
+// replayed least recently used first so recency ends hottest-first. A
+// memory-only engine warms nothing.
+func (e *Engine) WarmFromDisk() int {
+	ts, ok := e.store.(*TieredStore)
+	if !ok || e.disk == nil {
+		return 0
+	}
+	entries := e.disk.Entries() // LRU first
+	start := len(entries)
+	var bytes int64
+	for i := len(entries) - 1; i >= 0; i-- {
+		bytes += entries[i].Bytes
+		if (e.mem.maxBytes > 0 && bytes > e.mem.maxBytes) ||
+			len(entries)-i > e.mem.capacity {
+			break
+		}
+		start = i
+	}
+	n := 0
+	for _, ent := range entries[start:] {
+		if _, ok := ts.mem.lookup(ent.Key, false); ok {
+			continue
+		}
+		if _, ok := ts.Get(ent.Key); ok {
+			n++
+		}
+	}
+	return n
 }
 
 // Exec resolves a job: cache hit, join of an identical in-flight
@@ -123,7 +184,7 @@ func (e *Engine) Stats() Stats {
 // joined caller; failures are never cached, so a later Exec retries.
 func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 	if j.Key != "" {
-		if v, ok := e.cache.Get(j.Key); ok {
+		if v, ok := e.store.Get(j.Key); ok {
 			return v, nil
 		}
 		// Singleflight: join an identical in-flight computation.
@@ -150,6 +211,7 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 		e.mu.Unlock()
 
 		completed := false
+		fromStore := false
 		defer func() {
 			if !completed {
 				// j.Run panicked. Record an error so joined callers
@@ -157,14 +219,23 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 				// the panic propagate to our own caller.
 				c.err = fmt.Errorf("engine: job %q panicked", j.Key)
 			}
-			if c.err == nil {
-				e.cache.Add(j.Key, c.val)
+			if c.err == nil && !fromStore {
+				e.store.Add(j.Key, c.val)
 			}
 			e.mu.Lock()
 			delete(e.inflight, j.Key)
 			e.mu.Unlock()
 			close(c.done)
 		}()
+		// Double-check now that we are the leader: a racing leader may
+		// have completed — and published — this key between our store
+		// miss above and the inflight registration. Re-running the job
+		// would mint a second pointer for artifacts the racer's
+		// consumers already hold.
+		if v, ok := e.store.Recheck(j.Key); ok {
+			c.val, fromStore, completed = v, true, true
+			return c.val, nil
+		}
 		c.val, c.err = e.run(ctx, j)
 		completed = true
 		return c.val, c.err

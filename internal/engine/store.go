@@ -1,0 +1,118 @@
+// Tiered artifact store: the engine memoizes job outputs through the
+// Store interface. The default store is the in-memory byte-weighted
+// LRU (Cache); wiring in a DiskTier upgrades it to a TieredStore whose
+// Get transparently promotes disk hits into memory and whose memory
+// evictions are demoted to disk, so a restarted process warms from the
+// artifacts a previous run already computed.
+package engine
+
+import "sync"
+
+// Store is the artifact store Exec memoizes through. Implementations
+// must be safe for concurrent use.
+type Store interface {
+	// Get returns the artifact stored under key, if present.
+	Get(key string) (any, bool)
+	// Recheck is Get for the engine's double-checked leader path: it
+	// consults only what is immediately resident (no disk read) and
+	// records no hit/miss statistics, so the overwhelmingly-common
+	// miss does not skew observability.
+	Recheck(key string) (any, bool)
+	// Add stores an artifact under its content key.
+	Add(key string, val any)
+}
+
+// Recheck implements Store for the bare memory tier.
+func (c *Cache) Recheck(key string) (any, bool) { return c.lookup(key, false) }
+
+// Codec translates artifacts to and from a self-describing byte form
+// for the disk tier. Implementations live outside this package (see
+// internal/engine/codec) so the engine stays independent of the
+// artifact types it caches.
+type Codec interface {
+	// Encode renders v as (kind, payload). ok reports whether the codec
+	// supports v's dynamic type — unsupported artifacts simply stay
+	// memory-only.
+	Encode(v any) (kind string, data []byte, ok bool, err error)
+	// Decode reconstructs an artifact of the given kind from data.
+	Decode(kind string, data []byte) (any, error)
+}
+
+// TieredStore chains the in-memory LRU in front of a disk tier.
+type TieredStore struct {
+	mem  *Cache
+	disk *DiskTier
+	// promote serialises disk-to-memory promotion so concurrent misses
+	// on the same key decode once and every caller observes the same
+	// promoted pointer — the same identity guarantee the memory tier
+	// alone provides.
+	promote sync.Mutex
+}
+
+// NewTieredStore builds a store over the given memory and disk tiers
+// and wires memory evictions to demote onto disk. The disk tier may be
+// nil, in which case the store degenerates to the memory tier.
+func NewTieredStore(mem *Cache, disk *DiskTier) *TieredStore {
+	t := &TieredStore{mem: mem, disk: disk}
+	if disk != nil {
+		mem.OnEvict(func(key string, val any) { disk.Demote(key, val) })
+	}
+	return t
+}
+
+// Memory returns the memory tier.
+func (t *TieredStore) Memory() *Cache { return t.mem }
+
+// Disk returns the disk tier (nil when the store is memory-only).
+func (t *TieredStore) Disk() *DiskTier { return t.disk }
+
+// Get returns the artifact under key, reading through the tiers:
+// memory first, then disk, promoting a disk hit into memory so the
+// next lookup is free.
+func (t *TieredStore) Get(key string) (any, bool) {
+	if v, ok := t.mem.Get(key); ok {
+		return v, true
+	}
+	if t.disk == nil {
+		return nil, false
+	}
+	t.promote.Lock()
+	defer t.promote.Unlock()
+	// A concurrent caller may have promoted while we waited.
+	if v, ok := t.mem.lookup(key, false); ok {
+		return v, true
+	}
+	v, ok := t.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	// A concurrent Add of this key may have landed while we read the
+	// disk (its write-through is what made the key disk-resident in
+	// the first place: Add fills memory before disk, so a disk hit
+	// implies the computed artifact already reached the memory tier).
+	// That in-memory artifact wins over our freshly-decoded copy —
+	// every caller of a key must observe one pointer, or downstream
+	// identity checks (reach result vs. its graph) break.
+	if mv, ok := t.mem.lookup(key, false); ok {
+		return mv, true
+	}
+	t.mem.Add(key, v)
+	return v, true
+}
+
+// Recheck consults the memory tier only: the leader double-check runs
+// after every store miss, and pulling the disk into it would pay a
+// decode on the hot path for a race that Add's write-through ordering
+// already confines to memory.
+func (t *TieredStore) Recheck(key string) (any, bool) { return t.mem.lookup(key, false) }
+
+// Add stores the artifact in memory and writes it through to the disk
+// tier (when its type has a codec), so every computed artifact is
+// durable immediately — not only after an eviction happens to demote
+// it.
+func (t *TieredStore) Add(key string, val any) {
+	t.mem.Add(key, val)
+	if t.disk != nil {
+		t.disk.Put(key, val)
+	}
+}

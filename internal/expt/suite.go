@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cfg"
 	"repro/internal/cluster"
@@ -364,6 +365,41 @@ type SimReq struct {
 	Spec  SimSpec
 }
 
+// SimEach runs every requested simulation concurrently as one engine
+// dependency layer (tables resolved as dependencies, executions bounded
+// by the engine's worker pool, identical specs deduplicated in flight)
+// and invokes done(i, result, err) as each simulation completes. done
+// is called exactly once per request, concurrently from multiple
+// goroutines, so it must be safe for concurrent use; SimEach returns
+// after every callback has fired. A spec that fails to resolve to a
+// job (unknown policy) fails the whole call up front, before any work
+// is submitted.
+func (s *Suite) SimEach(ctx context.Context, reqs []SimReq, done func(i int, r *cluster.Result, err error)) error {
+	jobs := make([]engine.Job, len(reqs))
+	for i, r := range reqs {
+		j, err := s.simJob(r.Bench, r.Spec)
+		if err != nil {
+			return err
+		}
+		jobs[i] = j
+	}
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.eng.Exec(ctx, jobs[i])
+			if err != nil {
+				done(i, nil, err)
+				return
+			}
+			done(i, v.(*cluster.Result), nil)
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}
+
 // SimBatch runs every requested simulation as one engine dependency
 // layer, so a figure's whole configuration grid saturates the worker
 // pool instead of being issued sequentially. Results are positional:
@@ -375,21 +411,17 @@ func (s *Suite) SimBatch(reqs []SimReq) ([]*cluster.Result, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	jobs := make([]engine.Job, len(reqs))
-	for i, r := range reqs {
-		j, err := s.simJob(r.Bench, r.Spec)
+	out := make([]*cluster.Result, len(reqs))
+	errs := make([]error, len(reqs))
+	if err := s.SimEach(context.Background(), reqs, func(i int, r *cluster.Result, err error) {
+		out[i], errs[i] = r, err
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		jobs[i] = j
-	}
-	vals, err := s.execLayer(jobs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*cluster.Result, len(vals))
-	for i, v := range vals {
-		out[i] = v.(*cluster.Result)
 	}
 	return out, nil
 }

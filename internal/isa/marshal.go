@@ -1,0 +1,68 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/binio"
+)
+
+// programVersion tags the Program wire format; bump on layout changes
+// so stale disk artifacts decode to a clean error instead of garbage.
+const programVersion = 1
+
+// MarshalBinary serialises the program (code, function metadata, entry
+// point) in a deterministic little-endian format for the disk artifact
+// store.
+func (p *Program) MarshalBinary() ([]byte, error) {
+	w := binio.NewWriter(16 + len(p.Name) + len(p.Code)*12 + len(p.Funcs)*24)
+	w.U8(programVersion)
+	w.String(p.Name)
+	w.Uvarint(uint64(len(p.Code)))
+	for i := range p.Code {
+		ins := &p.Code[i]
+		w.U8(uint8(ins.Op))
+		w.U8(uint8(ins.Dst))
+		w.U8(uint8(ins.Src1))
+		w.U8(uint8(ins.Src2))
+		w.Varint(ins.Imm)
+		w.U32(ins.Target)
+	}
+	w.Uvarint(uint64(len(p.Funcs)))
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		w.String(f.Name)
+		w.U32(f.Entry)
+		w.U32(f.End)
+	}
+	w.U32(p.Entry)
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a program written by MarshalBinary.
+func (p *Program) UnmarshalBinary(data []byte) error {
+	r := binio.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != programVersion {
+		return fmt.Errorf("isa: program format version %d (want %d)", v, programVersion)
+	}
+	p.Name = r.String()
+	// Min encoded instruction: 4 one-byte fields + 1-byte varint + u32.
+	code := make([]Instruction, r.Count(9))
+	for i := range code {
+		code[i] = Instruction{
+			Op:   Op(r.U8()),
+			Dst:  Reg(r.U8()),
+			Src1: Reg(r.U8()),
+			Src2: Reg(r.U8()),
+			Imm:  r.Varint(),
+		}
+		code[i].Target = r.U32()
+	}
+	p.Code = code
+	funcs := make([]Function, r.Count(9))
+	for i := range funcs {
+		funcs[i] = Function{Name: r.String(), Entry: r.U32(), End: r.U32()}
+	}
+	p.Funcs = funcs
+	p.Entry = r.U32()
+	return r.Close()
+}

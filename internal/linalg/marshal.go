@@ -1,0 +1,54 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/binio"
+)
+
+// matrixVersion tags the Matrix wire format.
+const matrixVersion = 1
+
+// MarshalBinary serialises the matrix as its shape plus raw IEEE-754
+// element bits (exact float round trip).
+func (m *Matrix) MarshalBinary() ([]byte, error) {
+	if len(m.Data) < m.Rows*m.Cols {
+		return nil, fmt.Errorf("linalg: matrix %dx%d with %d elements", m.Rows, m.Cols, len(m.Data))
+	}
+	w := binio.NewWriter(16 + m.Rows*m.Cols*8)
+	w.U8(matrixVersion)
+	w.Uvarint(uint64(m.Rows))
+	w.Uvarint(uint64(m.Cols))
+	for _, v := range m.Data[:m.Rows*m.Cols] {
+		w.U64(math.Float64bits(v))
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a matrix written by MarshalBinary.
+func (m *Matrix) UnmarshalBinary(data []byte) error {
+	r := binio.NewReader(data)
+	if v := r.U8(); r.Err() == nil && v != matrixVersion {
+		return fmt.Errorf("linalg: matrix format version %d (want %d)", v, matrixVersion)
+	}
+	rows64 := r.Uvarint()
+	cols64 := r.Uvarint()
+	// Bound each dimension before multiplying: a corrupt file could
+	// otherwise overflow rows*cols past the guard and panic make().
+	const maxDim = 1 << 30
+	if r.Err() == nil && (rows64 > maxDim || cols64 > maxDim ||
+		rows64*cols64 > uint64(r.Remaining())/8) {
+		return fmt.Errorf("linalg: matrix shape %dx%d exceeds %d payload bytes", rows64, cols64, r.Remaining())
+	}
+	rows, cols := int(rows64), int(cols64)
+	d := make([]float64, rows*cols)
+	for i := range d {
+		d[i] = math.Float64frombits(r.U64())
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, d
+	return nil
+}

@@ -1,0 +1,48 @@
+package linalg
+
+import (
+	"testing"
+
+	"repro/internal/binio"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m := &Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2.5, -3, 0, 1e-300, 9}}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Matrix
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 2 || got.Cols != 3 {
+		t.Fatalf("shape %dx%d", got.Rows, got.Cols)
+	}
+	for i, v := range m.Data {
+		if got.Data[i] != v {
+			t.Fatalf("element %d: %v != %v", i, got.Data[i], v)
+		}
+	}
+}
+
+// TestMatrixUnmarshalOverflowShape: a crafted shape whose product
+// overflows int must be a clean decode error, not a make() panic —
+// the disk tier's "corruption is a miss, never fatal" contract.
+func TestMatrixUnmarshalOverflowShape(t *testing.T) {
+	w := binio.NewWriter(0)
+	w.U8(1)              // matrixVersion
+	w.Uvarint(1 << 33)   // rows
+	w.Uvarint(1<<30 + 1) // cols: product wraps negative as int64*int64 -> int
+	var m Matrix
+	if err := m.UnmarshalBinary(w.Bytes()); err == nil {
+		t.Fatal("overflowing shape must error")
+	}
+	w2 := binio.NewWriter(0)
+	w2.U8(1)
+	w2.Uvarint(4)
+	w2.Uvarint(4) // claims 16 elements, provides none
+	if err := m.UnmarshalBinary(w2.Bytes()); err == nil {
+		t.Fatal("undersized payload must error")
+	}
+}

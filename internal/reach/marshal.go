@@ -1,0 +1,85 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/binio"
+	"repro/internal/cfg"
+	"repro/internal/linalg"
+)
+
+// resultVersion tags the reach.Result wire format.
+const resultVersion = 1
+
+// MarshalBinary serialises the result (graph plus both dense matrices)
+// as one self-contained artifact.
+func (r *Result) MarshalBinary() ([]byte, error) {
+	w := binio.NewWriter(64)
+	w.U8(resultVersion)
+	writeOpt := func(v interface{ MarshalBinary() ([]byte, error) }, present bool) error {
+		w.Bool(present)
+		if !present {
+			return nil
+		}
+		b, err := v.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		w.Blob(b)
+		return nil
+	}
+	if err := writeOpt(r.G, r.G != nil); err != nil {
+		return nil, err
+	}
+	if err := writeOpt(r.Prob, r.Prob != nil); err != nil {
+		return nil, err
+	}
+	if err := writeOpt(r.Dist, r.Dist != nil); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a result written by MarshalBinary.
+func (r *Result) UnmarshalBinary(data []byte) error {
+	rd := binio.NewReader(data)
+	if v := rd.U8(); rd.Err() == nil && v != resultVersion {
+		return fmt.Errorf("reach: result format version %d (want %d)", v, resultVersion)
+	}
+	var g *cfg.Graph
+	if rd.Bool() {
+		g = new(cfg.Graph)
+		if b := rd.Blob(); rd.Err() == nil {
+			if err := g.UnmarshalBinary(b); err != nil {
+				return fmt.Errorf("reach: result graph: %w", err)
+			}
+		}
+	}
+	readMat := func() (*linalg.Matrix, error) {
+		if !rd.Bool() {
+			return nil, nil
+		}
+		m := new(linalg.Matrix)
+		b := rd.Blob()
+		if rd.Err() != nil {
+			return nil, nil
+		}
+		if err := m.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	prob, err := readMat()
+	if err != nil {
+		return fmt.Errorf("reach: result prob: %w", err)
+	}
+	dist, err := readMat()
+	if err != nil {
+		return fmt.Errorf("reach: result dist: %w", err)
+	}
+	if err := rd.Close(); err != nil {
+		return err
+	}
+	r.G, r.Prob, r.Dist = g, prob, dist
+	return nil
+}

@@ -1,0 +1,286 @@
+// POST /v1/batch: one request sweeps a whole simulation-configuration
+// grid. The grid is given either as an explicit spec list, as a
+// cross-product sweep, or both (explicit specs first, then the sweep
+// expansion in deterministic nested order). Every simulation is fanned
+// out through the shared engine as one dependency layer — spawn tables
+// resolved as dependencies, identical specs deduplicated in flight and
+// against the artifact store — and results stream back as NDJSON in
+// request order as they complete, each line byte-identical to the
+// (compacted) body the equivalent /v1/simulate call returns.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/expt"
+	"repro/internal/workload"
+)
+
+// maxBatchSpecs bounds one request's expanded grid: a full figure
+// sweep is a few hundred sims; 4096 leaves room without letting one
+// request occupy the engine for hours.
+const maxBatchSpecs = 4096
+
+// batchSpec is one simulation configuration of a batch — the
+// /v1/simulate request shape minus the size, which is batch-global so
+// the whole grid shares one suite.
+type batchSpec struct {
+	Bench       string `json:"bench"`
+	Policy      string `json:"policy"`    // default "profile"
+	TUs         int    `json:"tus"`       // default 16
+	Predictor   string `json:"predictor"` // default "perfect"
+	Overhead    int64  `json:"overhead"`
+	Removal     int64  `json:"removal"`
+	Occurrences int    `json:"occurrences"`
+	Reassign    bool   `json:"reassign"`
+	MinSize     int    `json:"min_size"`
+}
+
+// batchSweep is a cross-product grid: every combination of the listed
+// values, expanded in nested order (benches outermost, min_sizes
+// innermost). Empty dimensions take the /v1/simulate defaults.
+type batchSweep struct {
+	Benches     []string `json:"benches"`    // default: every benchmark
+	Policies    []string `json:"policies"`   // default: ["profile"]
+	TUs         []int    `json:"tus"`        // default: [16]
+	Predictors  []string `json:"predictors"` // default: ["perfect"]
+	Overheads   []int64  `json:"overheads"`  // default: [0]
+	Removals    []int64  `json:"removals"`   // default: [0]
+	Occurrences []int    `json:"occurrences"`
+	Reassign    []bool   `json:"reassign"`
+	MinSizes    []int    `json:"min_sizes"`
+}
+
+type batchRequest struct {
+	Size  string      `json:"size"`
+	Specs []batchSpec `json:"specs,omitempty"`
+	Sweep *batchSweep `json:"sweep,omitempty"`
+}
+
+// batchItem is one NDJSON result line: the /v1/simulate response with
+// the request index prepended.
+type batchItem struct {
+	Index int `json:"index"`
+	simulateResponse
+}
+
+// batchError is one NDJSON failure line.
+type batchError struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// expand renders the sweep as a spec list in deterministic nested
+// order.
+func (sw *batchSweep) expand() []batchSpec {
+	benches := sw.Benches
+	if len(benches) == 0 {
+		benches = workload.Benchmarks
+	}
+	or := func(vals []string, def string) []string {
+		if len(vals) == 0 {
+			return []string{def}
+		}
+		return vals
+	}
+	orInt := func(vals []int, def int) []int {
+		if len(vals) == 0 {
+			return []int{def}
+		}
+		return vals
+	}
+	orI64 := func(vals []int64) []int64 {
+		if len(vals) == 0 {
+			return []int64{0}
+		}
+		return vals
+	}
+	policies := or(sw.Policies, "profile")
+	tus := orInt(sw.TUs, 16)
+	preds := or(sw.Predictors, "perfect")
+	overheads := orI64(sw.Overheads)
+	removals := orI64(sw.Removals)
+	occurrences := orInt(sw.Occurrences, 0)
+	reassign := sw.Reassign
+	if len(reassign) == 0 {
+		reassign = []bool{false}
+	}
+	minSizes := orInt(sw.MinSizes, 0)
+
+	var specs []batchSpec
+	for _, b := range benches {
+		for _, pol := range policies {
+			for _, tu := range tus {
+				for _, pred := range preds {
+					for _, ov := range overheads {
+						for _, rm := range removals {
+							for _, oc := range occurrences {
+								for _, ra := range reassign {
+									for _, ms := range minSizes {
+										specs = append(specs, batchSpec{
+											Bench: b, Policy: pol, TUs: tu, Predictor: pred,
+											Overhead: ov, Removal: rm, Occurrences: oc,
+											Reassign: ra, MinSize: ms,
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// validate applies /v1/simulate's defaults and checks, returning the
+// resolved SimSpec (bench name carried in SimSpec.Bench).
+func (sp *batchSpec) validate(i int) (expt.SimSpec, error) {
+	if sp.Policy == "" {
+		sp.Policy = "profile"
+	}
+	if sp.TUs == 0 {
+		sp.TUs = 16
+	}
+	if err := validBench(sp.Bench); err != nil {
+		return expt.SimSpec{}, fmt.Errorf("spec %d: %w", i, err)
+	}
+	if err := validPolicy(sp.Policy, false); err != nil {
+		return expt.SimSpec{}, fmt.Errorf("spec %d: %w", i, err)
+	}
+	if sp.TUs < 1 || sp.Overhead < 0 || sp.Removal < 0 || sp.Occurrences < 0 || sp.MinSize < 0 {
+		return expt.SimSpec{}, fmt.Errorf(
+			"spec %d: tus must be >= 1 and overhead/removal/occurrences/min_size must be >= 0", i)
+	}
+	pred, err := parsePredictor(sp.Predictor)
+	if err != nil {
+		return expt.SimSpec{}, fmt.Errorf("spec %d: %w", i, err)
+	}
+	return expt.SimSpec{
+		Bench:     sp.Bench,
+		Policy:    sp.Policy,
+		TUs:       sp.TUs,
+		Predictor: pred,
+		Overhead:  sp.Overhead,
+		Removal:   sp.Removal,
+		Occur:     sp.Occurrences,
+		Reassign:  sp.Reassign,
+		MinSize:   sp.MinSize,
+	}, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs := req.Specs
+	if req.Sweep != nil {
+		specs = append(specs, req.Sweep.expand()...)
+	}
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch needs specs or a sweep"))
+		return
+	}
+	if len(specs) > maxBatchSpecs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch expands to %d specs (max %d)", len(specs), maxBatchSpecs))
+		return
+	}
+	sz, err := parseSize(req.Size)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate the whole grid before any work or output: a bad spec is
+	// a clean 400, not a broken half-stream.
+	resolved := make([]expt.SimSpec, len(specs))
+	var benches []string
+	seen := make(map[string]bool)
+	for i := range specs {
+		sp, err := specs[i].validate(i)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resolved[i] = sp
+		if !seen[sp.Bench] {
+			seen[sp.Bench] = true
+			benches = append(benches, sp.Bench)
+		}
+	}
+	suite, err := expt.NewSuiteEngine(s.eng, sz, benches)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	reqs := make([]expt.SimReq, len(resolved))
+	for i, sp := range resolved {
+		reqs[i] = expt.SimReq{Bench: suite.Bench(sp.Bench), Spec: sp}
+	}
+
+	// Stream results in request order, flushing each line as soon as it
+	// and all its predecessors are done: output order (and bytes) are
+	// deterministic while later sims still overlap earlier writes.
+	type slot struct {
+		res *cluster.Result
+		err error
+	}
+	slots := make([]chan slot, len(reqs))
+	for i := range slots {
+		slots[i] = make(chan slot, 1)
+	}
+	ctx := r.Context()
+	go func() {
+		// Spec errors were caught above; SimEach only fails on job
+		// build, which validate has already excluded.
+		if err := suite.SimEach(ctx, reqs, func(i int, res *cluster.Result, err error) {
+			slots[i] <- slot{res, err}
+		}); err != nil {
+			for i := range slots {
+				select {
+				case slots[i] <- slot{nil, err}:
+				default:
+				}
+			}
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range reqs {
+		select {
+		case <-ctx.Done():
+			return
+		case sl := <-slots[i]:
+			var line any
+			if sl.err != nil {
+				line = batchError{Index: i, Error: sl.err.Error()}
+			} else {
+				line = batchItem{
+					Index: i,
+					simulateResponse: simulateResponse{
+						Bench:  resolved[i].Bench,
+						Size:   suite.Size.String(),
+						Policy: resolved[i].Policy,
+						TUs:    resolved[i].TUs,
+						Result: sl.res,
+					},
+				}
+			}
+			if err := enc.Encode(line); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// batchLines posts a /v1/batch request and splits the NDJSON body.
+func batchLines(t *testing.T, url, body string) (*http.Response, []string) {
+	t.Helper()
+	resp, raw := postJSON(t, url+"/v1/batch", body)
+	text := strings.TrimRight(string(raw), "\n")
+	if text == "" {
+		return resp, nil
+	}
+	return resp, strings.Split(text, "\n")
+}
+
+// TestBatchMatchesSerialSimulate: each NDJSON line must be
+// byte-identical to the compacted body of the equivalent /v1/simulate
+// call, with the request index prepended — the acceptance criterion
+// for the batch API.
+func TestBatchMatchesSerialSimulate(t *testing.T) {
+	_, ts := newTestServer(t)
+	specs := []string{
+		`{"bench":"compress","policy":"none","tus":1}`,
+		`{"bench":"compress","policy":"profile","tus":16}`,
+		`{"bench":"ijpeg","policy":"heuristics","tus":4,"predictor":"stride"}`,
+		`{"bench":"compress","policy":"profile","tus":16}`, // duplicate: dedups in flight
+	}
+	resp, lines := batchLines(t, ts.URL,
+		fmt.Sprintf(`{"size":"test","specs":[%s]}`, strings.Join(specs, ",")))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, strings.Join(lines, "\n"))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(lines) != len(specs) {
+		t.Fatalf("batch returned %d lines for %d specs", len(lines), len(specs))
+	}
+	for i, spec := range specs {
+		sresp, sbody := postJSON(t, ts.URL+"/v1/simulate",
+			strings.Replace(spec, "{", `{"size":"test",`, 1))
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %d status = %d: %s", i, sresp.StatusCode, sbody)
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, sbody); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf(`{"index":%d,%s`, i, compact.String()[1:])
+		if lines[i] != want {
+			t.Errorf("line %d differs from serial simulate:\nbatch: %s\nwant:  %s", i, lines[i], want)
+		}
+	}
+}
+
+func TestBatchSweepExpansion(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, lines := batchLines(t, ts.URL,
+		`{"size":"test","sweep":{"benches":["compress"],"policies":["none","profile"],"tus":[1,4]}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("sweep expanded to %d lines, want 4 (2 policies x 2 tus)", len(lines))
+	}
+	// Deterministic nested order: policies outer, tus inner.
+	wantOrder := []struct {
+		policy string
+		tus    int
+	}{{"none", 1}, {"none", 4}, {"profile", 1}, {"profile", 4}}
+	for i, line := range lines {
+		var item struct {
+			Index  int             `json:"index"`
+			Bench  string          `json:"bench"`
+			Policy string          `json:"policy"`
+			TUs    int             `json:"tus"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal([]byte(line), &item); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if item.Index != i || item.Bench != "compress" ||
+			item.Policy != wantOrder[i].policy || item.TUs != wantOrder[i].tus {
+			t.Errorf("line %d = %+v, want index=%d policy=%s tus=%d",
+				i, item, i, wantOrder[i].policy, wantOrder[i].tus)
+		}
+		if len(item.Result) == 0 {
+			t.Errorf("line %d carries no result", i)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty", `{"size":"test"}`, "specs or a sweep"},
+		{"bad bench", `{"size":"test","specs":[{"bench":"nope"}]}`, "unknown benchmark"},
+		{"bad policy", `{"size":"test","specs":[{"bench":"compress","policy":"nope"}]}`, "unknown policy"},
+		{"bad tus", `{"size":"test","specs":[{"bench":"compress","tus":-1}]}`, "tus must be"},
+		{"bad predictor", `{"size":"test","specs":[{"bench":"compress","predictor":"psychic"}]}`, "unknown predictor"},
+		{"bad size", `{"size":"galactic","specs":[{"bench":"compress"}]}`, "size"},
+		{"unknown field", `{"size":"test","bogus":1}`, "bogus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/batch", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			if !strings.Contains(string(body), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", body, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBatchSharesArtifactsWithSimulate(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// Warm via batch...
+	resp, _ := batchLines(t, ts.URL,
+		`{"size":"test","specs":[{"bench":"compress","policy":"profile","tus":16}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("batch failed")
+	}
+	before := srv.Engine().Stats()
+	// ...then the identical /v1/simulate must be pure cache hits.
+	sresp, _ := postJSON(t, ts.URL+"/v1/simulate",
+		`{"bench":"compress","size":"test","policy":"profile","tus":16}`)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatal("simulate failed")
+	}
+	after := srv.Engine().Stats()
+	if sims := after.Latency["sim"].Count - before.Latency["sim"].Count; sims != 0 {
+		t.Errorf("simulate after identical batch executed %d sim jobs, want 0", sims)
+	}
+}

@@ -10,8 +10,9 @@
 //	POST /v1/analyze      {"bench","size"}            → pipeline artefact summary
 //	POST /v1/pairs        {"bench","size","policy"}   → spawn-pair table
 //	POST /v1/simulate     {"bench","size","policy",…} → simulation result
+//	POST /v1/batch        {"size","specs"|"sweep"}    → NDJSON stream, one sim per line
 //	GET  /v1/figures/{id} ?size=test&bench=a,b        → one paper figure as JSON
-//	GET  /v1/stats                                    → engine/cache counters
+//	GET  /v1/stats                                    → engine/store counters (per tier)
 package server
 
 import (
@@ -56,6 +57,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/pairs", s.handlePairs)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -5,17 +5,27 @@
 # tracked across PRs.
 #
 # Usage:
-#   scripts/bench_reach.sh [output.json]
-#   BENCHTIME=1x scripts/bench_reach.sh     # quick CI mode
+#   scripts/bench_reach.sh [output.json] [baseline.json]
+#   BENCHTIME=1x scripts/bench_reach.sh     # quick smoke mode
+#   BENCHTIME=3x scripts/bench_reach.sh /tmp/fresh.json BENCH_reach.json  # CI gate
 #
 # The summary block compares the shared-factorisation engine against
 # the per-source-factorisation reference on the medium (n=128) CFG —
 # the acceptance numbers for the O(n⁴)→O(n³) rewrite.
+#
+# When a baseline is given, the freshly-generated JSON is diffed
+# against it and the script exits nonzero if any benchmark regressed
+# by more than 2x ns/op. Benchmarks whose baseline is under
+# MIN_GATE_NS (default 1ms) are skipped: at CI's few-iteration
+# benchtime a micro-benchmark's measurement is dominated by timer and
+# warm-up noise, and gating on it would flake.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1s}"
 out="${1:-BENCH_reach.json}"
+baseline="${2:-}"
+min_gate_ns="${MIN_GATE_NS:-1000000}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -60,3 +70,44 @@ END {
 }' "$tmp" > "$out"
 
 echo "wrote $out"
+
+if [ -n "$baseline" ]; then
+  if [ ! -f "$baseline" ]; then
+    echo "bench_reach.sh: baseline $baseline not found" >&2
+    exit 1
+  fi
+  echo "checking $out against baseline $baseline (fail on >2x ns/op, baseline >= ${min_gate_ns}ns)"
+  awk -v min_ns="$min_gate_ns" '
+  # Both files use one benchmark entry per line:
+  #   {"name": "...", "ns_per_op": N, ...}
+  /"name":/ {
+    line = $0
+    gsub(/.*"name": "/, "", line); name = line; gsub(/".*/, "", name)
+    line = $0
+    gsub(/.*"ns_per_op": /, "", line); gsub(/,.*/, "", line); ns = line + 0
+    if (FILENAME == ARGV[1]) base[name] = ns
+    else fresh[name] = ns
+  }
+  END {
+    bad = 0
+    for (name in fresh) {
+      if (!(name in base)) continue
+      if (base[name] < min_ns) continue
+      ratio = fresh[name] / base[name]
+      if (ratio > 2.0) {
+        printf("REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx)\n", name, fresh[name], base[name], ratio)
+        bad = 1
+      } else {
+        printf("ok %s: %.2fx baseline\n", name, ratio)
+      }
+    }
+    for (name in base) {
+      if (base[name] >= min_ns && !(name in fresh)) {
+        printf("MISSING benchmark %s disappeared from fresh run\n", name)
+        bad = 1
+      }
+    }
+    exit bad
+  }' "$baseline" "$out"
+  echo "perf gate passed"
+fi

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/engine"
+	"repro/internal/engine/codec"
 	"repro/internal/heuristic"
 	"repro/internal/isa"
 	"repro/internal/reach"
@@ -128,13 +129,29 @@ type (
 	// EngineJob is one keyed unit of work with dependencies.
 	EngineJob = engine.Job
 	// EngineStats snapshots cache, dedup, byte-residency, and
-	// per-job-kind latency counters.
+	// per-job-kind latency counters (per store tier when a disk tier
+	// is configured).
 	EngineStats = engine.Stats
+	// DiskTier is the persistent tier of the artifact store: one
+	// content-keyed file per artifact, atomic writes, byte-budgeted
+	// LRU eviction, corruption-tolerant reads.
+	DiskTier = engine.DiskTier
+	// DiskStats snapshots disk-tier hit/write/eviction counters.
+	DiskStats = engine.DiskStats
 )
 
 // NewEngine builds a concurrent job engine. The zero Options select a
 // GOMAXPROCS-sized worker pool and the default artifact-cache capacity.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// OpenDiskTier opens (creating if needed) a persistent artifact store
+// under dir, bounded by maxBytes (0 = unbounded), wired to the codec
+// covering every pipeline artifact type. Assign the result to
+// EngineOptions.Disk, then call Engine.WarmFromDisk to promote a
+// previous run's artifacts into memory at boot.
+func OpenDiskTier(dir string, maxBytes int64) (*DiskTier, error) {
+	return engine.OpenDiskTier(dir, maxBytes, codec.New())
+}
 
 // Generate builds a named benchmark program.
 func Generate(name string, size SizeClass) (*Program, error) {

@@ -103,12 +103,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(t0).Round(time.Millisecond))
 	}
+	// Drain the async write-through queue so every artifact this run
+	// computed is durable for the next run's warm-up.
+	eng.Close()
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr, "engine: %d jobs executed, %d deduped, cache %d hits / %d misses\n",
 		st.Executed, st.Deduped, st.Cache.Hits, st.Cache.Misses)
 	if st.Disk != nil {
-		fmt.Fprintf(os.Stderr, "store: %d disk hits, %d writes, %d artifacts / %d bytes resident\n",
-			st.Disk.Hits, st.Disk.Writes, st.Disk.Entries, st.Disk.BytesResident)
+		fmt.Fprintf(os.Stderr, "store: %d disk hits, %d writes (%d async), %d artifacts / %d bytes resident\n",
+			st.Disk.Hits, st.Disk.Writes, st.Disk.AsyncWrites, st.Disk.Entries, st.Disk.BytesResident)
 	}
 }
 

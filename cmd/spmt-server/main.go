@@ -23,12 +23,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -80,8 +84,27 @@ func main() {
 	}
 	log.Printf("spmt-server: listening on %s (workers=%d, cache=%d entries, cache-bytes=%s, store=%s)",
 		*addr, eng.Workers(), *cacheEntries, orUnbounded(*cacheBytes), orMemoryOnly(*storeDir))
-	if err := hs.ListenAndServe(); err != nil {
-		log.Fatalf("spmt-server: %v", err)
+
+	// Graceful shutdown: stop accepting requests, then drain the disk
+	// tier's async-write queue so every computed artifact is durable
+	// for the next boot's warm-up.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case sig := <-stop:
+		log.Printf("spmt-server: %v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("spmt-server: shutdown: %v", err)
+		}
+		eng.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("spmt-server: %v", err)
+		}
 	}
 }
 

@@ -4,6 +4,15 @@
 // LRU eviction, and reads are corruption-tolerant: a truncated,
 // scribbled, or stale-format file is treated as a miss and deleted so
 // the next Put rewrites it — never a panic, never a fatal error.
+//
+// Write-through is asynchronous: PutAsync hands the artifact to a
+// background writer through a bounded queue, so the encode and file
+// write happen off the job-completion path. A full queue blocks the
+// producer rather than dropping the write — durability is never
+// traded away, so a drained store holds exactly what a synchronous
+// one would and cold-start stays byte-identical. Flush waits for the
+// queue to drain; Close drains and stops the writer (later writes
+// fall back to the synchronous path).
 package engine
 
 import (
@@ -48,12 +57,34 @@ type DiskStats struct {
 	// BytesCapacity is the byte budget (0 = unbounded).
 	BytesResident int64 `json:"bytes_resident"`
 	BytesCapacity int64 `json:"bytes_capacity,omitempty"`
+	// AsyncWrites counts artifacts accepted onto the background
+	// writer's queue; QueueDepth is how many of them have not yet
+	// reached disk; Flushes counts explicit queue drains (Flush and
+	// Close).
+	AsyncWrites uint64 `json:"async_writes"`
+	QueueDepth  int    `json:"queue_depth"`
+	Flushes     uint64 `json:"flushes"`
 }
 
 type diskEntry struct {
 	key   string
 	path  string
 	bytes int64
+}
+
+// asyncQueueCap bounds the background writer's queue. Queued artifacts
+// are live pointers (the memory tier usually also holds them), so the
+// bound caps how much evicted-but-unwritten data the queue can pin; a
+// producer hitting the bound blocks until the writer catches up.
+const asyncQueueCap = 64
+
+// diskWrite is one unit of background-writer work: an artifact to
+// persist, or a flush token (done != nil) that the writer acknowledges
+// by closing done.
+type diskWrite struct {
+	key  string
+	val  any
+	done chan struct{}
 }
 
 // DiskTier is the persistent tier of the artifact store. All methods
@@ -63,15 +94,32 @@ type DiskTier struct {
 	maxBytes int64 // 0 = unbounded
 	codec    Codec
 
-	mu        sync.Mutex
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	bytes     int64
-	hits      uint64
-	misses    uint64
-	writes    uint64
-	evictions uint64
-	errors    uint64
+	// sendMu serialises queue sends with Close, so a producer can
+	// never send on a closed queue. The writer goroutine only receives
+	// and never takes sendMu, so a producer blocked on a full queue
+	// always drains.
+	sendMu sync.Mutex
+	closed bool
+	queue  chan diskWrite
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	// pending holds artifacts accepted for the background writer but
+	// not yet on disk, keyed to their live value: reads are served from
+	// it, so an artifact is never invisible between Add and the write
+	// landing (a memory-tier eviction in that window would otherwise
+	// force a recompute of data the process still holds).
+	pending     map[string]any
+	bytes       int64
+	hits        uint64
+	misses      uint64
+	writes      uint64
+	evictions   uint64
+	errors      uint64
+	asyncWrites uint64
+	flushes     uint64
 }
 
 // OpenDiskTier opens (creating if needed) a disk tier rooted at dir,
@@ -97,6 +145,8 @@ func OpenDiskTier(dir string, maxBytes int64, codec Codec) (*DiskTier, error) {
 		codec:    codec,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
+		pending:  make(map[string]any),
+		queue:    make(chan diskWrite, asyncQueueCap),
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -144,7 +194,91 @@ func OpenDiskTier(dir string, maxBytes int64, codec Codec) (*DiskTier, error) {
 	t.mu.Lock()
 	t.evict()
 	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.writer()
 	return t, nil
+}
+
+// writer is the background goroutine draining the async-write queue.
+func (t *DiskTier) writer() {
+	defer t.wg.Done()
+	for req := range t.queue {
+		if req.done != nil {
+			t.mu.Lock()
+			t.flushes++
+			t.mu.Unlock()
+			close(req.done)
+			continue
+		}
+		t.Put(req.key, req.val)
+		t.mu.Lock()
+		delete(t.pending, req.key)
+		t.mu.Unlock()
+	}
+}
+
+// PutAsync queues the artifact for the background writer and returns
+// immediately — the completion-path form of Put. A full queue blocks
+// until the writer catches up (writes are never dropped); after Close
+// the write happens synchronously instead.
+func (t *DiskTier) PutAsync(key string, val any) {
+	if key == "" {
+		return
+	}
+	t.mu.Lock()
+	_, resident := t.items[key]
+	_, queued := t.pending[key]
+	if resident || queued {
+		t.mu.Unlock()
+		return
+	}
+	t.pending[key] = val
+	t.asyncWrites++
+	t.mu.Unlock()
+
+	t.sendMu.Lock()
+	if t.closed {
+		t.sendMu.Unlock()
+		t.Put(key, val)
+		t.mu.Lock()
+		delete(t.pending, key)
+		t.mu.Unlock()
+		return
+	}
+	t.queue <- diskWrite{key: key, val: val}
+	t.sendMu.Unlock()
+}
+
+// Flush blocks until every write queued before the call has reached
+// disk. After Close it is a no-op (Close already drained).
+func (t *DiskTier) Flush() {
+	t.sendMu.Lock()
+	if t.closed {
+		t.sendMu.Unlock()
+		return
+	}
+	done := make(chan struct{})
+	t.queue <- diskWrite{done: done}
+	t.sendMu.Unlock()
+	<-done
+}
+
+// Close drains the async-write queue and stops the background writer.
+// The tier remains readable and writable — subsequent PutAsync calls
+// degrade to synchronous writes. Close is idempotent.
+func (t *DiskTier) Close() {
+	t.sendMu.Lock()
+	if t.closed {
+		t.sendMu.Unlock()
+		return
+	}
+	t.closed = true
+	close(t.queue)
+	t.sendMu.Unlock()
+	t.wg.Wait()
+	t.mu.Lock()
+	t.flushes++
+	t.mu.Unlock()
 }
 
 // Dir returns the store directory.
@@ -264,6 +398,12 @@ func (t *DiskTier) Get(key string) (any, bool) {
 	defer t.mu.Unlock()
 	el, ok := t.items[key]
 	if !ok {
+		// Queued for the background writer: the artifact is as good as
+		// resident — serve the live value instead of recomputing it.
+		if v, queued := t.pending[key]; queued {
+			t.hits++
+			return v, true
+		}
 		t.misses++
 		return nil, false
 	}
@@ -301,10 +441,11 @@ func (t *DiskTier) load(ent *diskEntry, key string) (any, error) {
 	return v, nil
 }
 
-// Put persists the artifact under key if its type has a codec and it
-// is not already resident. The write is atomic: a temp file in the
-// store directory renamed into place, so readers never observe a
-// partial artifact under a final name.
+// Put synchronously persists the artifact under key if its type has a
+// codec and it is not already resident (PutAsync is the completion-
+// path form). The write is atomic: a temp file in the store directory
+// renamed into place, so readers never observe a partial artifact
+// under a final name.
 func (t *DiskTier) Put(key string, val any) {
 	if key == "" || t.Has(key) {
 		return
@@ -361,9 +502,12 @@ func (t *DiskTier) Put(key string, val any) {
 	t.evict()
 }
 
-// Demote writes a memory-tier eviction to disk unless it is already
-// resident (the write-through path usually got there first).
-func (t *DiskTier) Demote(key string, val any) { t.Put(key, val) }
+// Demote queues a memory-tier eviction for the background writer
+// unless it is already resident or queued (the write-through path
+// usually got there first). Asynchronous: eviction happens on an Add's
+// completion path, which must not absorb an encode of a trace-sized
+// artifact.
+func (t *DiskTier) Demote(key string, val any) { t.PutAsync(key, val) }
 
 // evict removes least recently used artifact files until the byte
 // budget holds, always keeping the most recently used artifact.
@@ -437,5 +581,8 @@ func (t *DiskTier) Stats() DiskStats {
 		Entries:       t.ll.Len(),
 		BytesResident: t.bytes,
 		BytesCapacity: t.maxBytes,
+		AsyncWrites:   t.asyncWrites,
+		QueueDepth:    len(t.pending),
+		Flushes:       t.flushes,
 	}
 }

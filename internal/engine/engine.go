@@ -142,6 +142,16 @@ func (e *Engine) Stats() Stats {
 // Disk returns the engine's disk tier, or nil when memory-only.
 func (e *Engine) Disk() *DiskTier { return e.disk }
 
+// Close drains the disk tier's async-write queue and stops its
+// background writer, so every computed artifact is durable before the
+// process exits. A memory-only engine closes trivially; the engine
+// itself stays usable (later disk writes degrade to synchronous).
+func (e *Engine) Close() {
+	if e.disk != nil {
+		e.disk.Close()
+	}
+}
+
 // WarmFromDisk promotes disk-resident artifacts into the memory tier —
 // the cold-start path for a server or CLI pointed at a warm store
 // directory — and returns how many artifacts were loaded. Only the

@@ -106,13 +106,15 @@ func (t *TieredStore) Get(key string) (any, bool) {
 // already confines to memory.
 func (t *TieredStore) Recheck(key string) (any, bool) { return t.mem.lookup(key, false) }
 
-// Add stores the artifact in memory and writes it through to the disk
-// tier (when its type has a codec), so every computed artifact is
-// durable immediately — not only after an eviction happens to demote
-// it.
+// Add stores the artifact in memory and queues it for the disk tier's
+// background writer (when its type has a codec), so every computed
+// artifact becomes durable without the encode+write riding the job's
+// completion path. The queue never drops writes — a full queue blocks
+// — so a flushed store is exactly what synchronous write-through would
+// have produced.
 func (t *TieredStore) Add(key string, val any) {
 	t.mem.Add(key, val)
 	if t.disk != nil {
-		t.disk.Put(key, val)
+		t.disk.PutAsync(key, val)
 	}
 }

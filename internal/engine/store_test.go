@@ -63,6 +63,7 @@ func TestTieredStoreWriteThroughAndPromotion(t *testing.T) {
 	ts := NewTieredStore(NewCacheSized(8, 0), dt)
 
 	ts.Add("k1", &blob{S: "hello", Bytes: 64})
+	dt.Flush()
 	if !dt.Has("k1") {
 		t.Fatal("Add must write through to disk")
 	}
@@ -95,6 +96,7 @@ func TestMemoryEvictionDemotesToDisk(t *testing.T) {
 	// Tiny memory budget: adding the second artifact evicts the first.
 	ts := NewTieredStore(NewCacheSized(8, 100), dt)
 	ts.Add("a", &blob{S: "first", Bytes: 80})
+	dt.Flush()
 	// Delete the write-through copy so only demotion can restore it.
 	dt.mu.Lock()
 	if el, ok := dt.items["a"]; ok {
@@ -102,6 +104,7 @@ func TestMemoryEvictionDemotesToDisk(t *testing.T) {
 	}
 	dt.mu.Unlock()
 	ts.Add("b", &blob{S: "second", Bytes: 80})
+	dt.Flush()
 	if ts.Memory().Len() != 1 {
 		t.Fatalf("memory entries = %d, want 1", ts.Memory().Len())
 	}
@@ -347,6 +350,7 @@ func TestEngineWarmFromDisk(t *testing.T) {
 	ts := eng.store.(*TieredStore)
 	ts.Add("w1", &blob{S: "one", Bytes: 8})
 	ts.Add("w2", &blob{S: "two", Bytes: 8})
+	eng.Close()
 
 	dt2 := openTestTier(t, dir, 0)
 	eng2 := New(Options{Workers: 1, Disk: dt2})
@@ -374,6 +378,7 @@ func TestWarmFromDiskRespectsMemoryBudget(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("w%d", i)
 		ts.Add(key, &blob{S: fmt.Sprintf("v%d", i), Bytes: 16})
+		dt.Flush()
 		// Reopening orders by mtime; the writes above land within one
 		// timestamp tick, so spread them explicitly.
 		if err := os.Chtimes(dt.artPath(key), now, now.Add(time.Duration(i)*time.Second)); err != nil {

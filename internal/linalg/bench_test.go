@@ -29,11 +29,13 @@ func randomSquare(n int, seed uint64) *Matrix {
 	return a
 }
 
-// BenchmarkLinalg measures the allocating convenience wrappers against
-// the zero-allocation in-place kernels the reach engine uses.
-// scripts/bench_reach.sh records these numbers alongside BenchmarkReach.
+// BenchmarkLinalg measures the packed register-blocked kernels (the
+// *-into benchmarks), the allocating convenience wrappers, and the
+// scalar reference kernels they replaced (*-ref) — so the micro-kernel
+// speedup is visible in one table. scripts/bench_reach.sh records
+// these numbers alongside BenchmarkReach in BENCH_reach.json.
 func BenchmarkLinalg(b *testing.B) {
-	for _, n := range []int{64, 128, 256} {
+	for _, n := range []int{64, 128, 256, 512} {
 		a := randomSquare(n, 7)
 		bm := randomSquare(n, 13)
 		b.Run(fmt.Sprintf("factor-alloc/n=%d", n), func(b *testing.B) {
@@ -46,10 +48,23 @@ func BenchmarkLinalg(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("factor-into/n=%d", n), func(b *testing.B) {
 			f := NewLU(n)
+			if err := f.FactorInto(a); err != nil { // warm the packing buffers
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := f.FactorInto(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("factor-ref/n=%d", n), func(b *testing.B) {
+			f := NewLU(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.FactorIntoRef(a); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -60,10 +75,24 @@ func BenchmarkLinalg(b *testing.B) {
 				b.Fatal(err)
 			}
 			dst := NewMatrix(n, n)
+			f.InverseInto(dst) // warm the packing buffers
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f.InverseInto(dst)
+			}
+		})
+		b.Run(fmt.Sprintf("trsm/n=%d", n), func(b *testing.B) {
+			f := NewLU(n)
+			if err := f.FactorInto(a); err != nil {
+				b.Fatal(err)
+			}
+			dst := NewMatrix(n, n)
+			f.SolveMatInto(dst, bm) // warm the packing buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.SolveMatInto(dst, bm)
 			}
 		})
 		b.Run(fmt.Sprintf("mul-alloc/n=%d", n), func(b *testing.B) {
@@ -74,10 +103,20 @@ func BenchmarkLinalg(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("mul-into/n=%d", n), func(b *testing.B) {
 			dst := NewMatrix(n, n)
+			ws := NewWorkspace()
+			MulIntoOpt(dst, a, bm, 1, ws) // warm the packing buffers
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				MulInto(dst, a, bm)
+				MulIntoOpt(dst, a, bm, 1, ws)
+			}
+		})
+		b.Run(fmt.Sprintf("mul-ref/n=%d", n), func(b *testing.B) {
+			dst := NewMatrix(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulIntoRef(dst, a, bm)
 			}
 		})
 		b.Run(fmt.Sprintf("solve/n=%d", n), func(b *testing.B) {

@@ -1,9 +1,21 @@
-// Package linalg provides the small dense linear-algebra kernel the
-// reaching-probability engine needs: row-major matrices, LU factorisation
-// with partial pivoting, solves, inversion, and blocked multiplication.
-// It is deliberately minimal — no BLAS ambitions — but every kernel has
-// an allocation-free form so the hot path can run entirely out of
-// reusable storage.
+// Package linalg provides the dense linear-algebra kernels the
+// reaching-probability engine needs: row-major matrices, LU
+// factorisation with partial pivoting, solves, inversion, and
+// matrix multiplication.
+//
+// # Kernel architecture
+//
+// The O(n³) kernels are built around a packed-panel, register-blocked
+// micro-kernel (see gemm.go): operands are packed into contiguous
+// panel buffers and driven through a 4×8 multi-accumulator micro-kernel
+// (AVX2+FMA assembly on amd64, selected at start-up by CPUID). LU
+// factorisation is blocked right-looking — panel factorisation, a
+// triangular solve of the panel's row block, and a trailing-submatrix
+// update through the same GEMM kernel — and inversion/multi-RHS solves
+// are blocked forward/back substitutions whose bulk is again GEMM.
+// On architectures without the assembly micro-kernel every entry point
+// falls back to the scalar reference kernels (reference.go), which are
+// also kept as the parity oracle for the property tests.
 //
 // # Allocation contract
 //
@@ -13,21 +25,25 @@
 //
 //	FactorInto   factorises into an existing LU's storage
 //	Solve        solves using the LU's internal scratch
+//	SolveMatInto solves a multi-RHS system into an existing matrix
 //	InverseInto  writes A⁻¹ into an existing matrix
-//	MulInto      writes A·B into an existing matrix (blocked)
+//	MulInto      writes A·B into an existing matrix (packed/blocked)
 //	MulVec/MulVecT multiply into caller-provided vectors
 //
-// A Workspace pools vectors, matrices, and LU factorisations so a
-// caller that computes in a loop (the reach engine factorises and
-// multiplies once per CFG) reuses the same storage on every iteration.
-// Workspaces, LU values, and the In-place kernels are NOT safe for
-// concurrent use; give each goroutine its own.
+// A Workspace pools vectors, matrices, LU factorisations, and GEMM
+// packing buffers so a caller that computes in a loop (the reach
+// engine factorises and multiplies once per CFG) reuses the same
+// storage on every iteration. Workspaces, LU values, and the in-place
+// kernels are NOT safe for concurrent use; give each goroutine its
+// own. The optional parallel tile fan-out (MulIntoOpt, LU.Workers) is
+// deterministic: workers write disjoint output tiles and the
+// floating-point schedule per tile is fixed, so results are
+// byte-identical for every worker count.
 package linalg
 
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // ErrSingular is returned when a factorisation meets an (effectively)
@@ -66,14 +82,23 @@ func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 // Reshape resizes m to rows×cols, reusing its backing array when it is
 // large enough, and zeroes the content.
 func (m *Matrix) Reshape(rows, cols int) {
+	m.reshapeNoClear(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// reshapeNoClear resizes m without zeroing: the internal form of
+// Reshape for kernels that overwrite every element anyway (CopyFrom,
+// the packed GEMM paths, blocked solves). Exported callers get
+// Reshape's zeroing contract; in-package hot paths skip the redundant
+// clear.
+func (m *Matrix) reshapeNoClear(rows, cols int) {
 	n := rows * cols
 	if cap(m.Data) < n {
 		m.Data = make([]float64, n)
 	} else {
 		m.Data = m.Data[:n]
-		for i := range m.Data {
-			m.Data[i] = 0
-		}
 	}
 	m.Rows, m.Cols = rows, cols
 }
@@ -87,7 +112,7 @@ func (m *Matrix) Clone() *Matrix {
 
 // CopyFrom resizes m to a's shape and copies a's content.
 func (m *Matrix) CopyFrom(a *Matrix) {
-	m.Reshape(a.Rows, a.Cols)
+	m.reshapeNoClear(a.Rows, a.Cols)
 	copy(m.Data, a.Data)
 }
 
@@ -99,6 +124,13 @@ func (m *Matrix) MulVec(x, y []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d × %d -> %d", m.Rows, m.Cols, len(x), len(y)))
 	}
+	if useAsm && m.Cols >= 16 {
+		xp := &x[0]
+		for i := 0; i < m.Rows; i++ {
+			y[i] = dotAsm(&m.Data[i*m.Cols], xp, m.Cols)
+		}
+		return
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		s := 0.0
@@ -107,6 +139,43 @@ func (m *Matrix) MulVec(x, y []float64) {
 		}
 		y[i] = s
 	}
+}
+
+// Axpy computes y += a·x over equal-length vectors, using the FMA
+// kernel when available.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy dims %d vs %d", len(x), len(y)))
+	}
+	if a == 0 || len(x) == 0 {
+		return
+	}
+	if useAsm && len(x) >= 16 {
+		axpyAsm(a, &x[0], &y[0], len(x))
+		return
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Dot returns Σ x[i]·y[i] over equal-length vectors, using the FMA
+// kernel when available.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Dot dims %d vs %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	if useAsm && len(x) >= 16 {
+		return dotAsm(&x[0], &y[0], len(x))
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
 }
 
 // MulVecT computes y = mᵀ·x (y[j] = Σ_i x[i]·m[i,j]) without
@@ -119,9 +188,14 @@ func (m *Matrix) MulVecT(x, y []float64) {
 	for j := range y {
 		y[j] = 0
 	}
+	wide := useAsm && m.Cols >= 16
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
+			continue
+		}
+		if wide {
+			axpyAsm(xi, &m.Data[i*m.Cols], &y[0], m.Cols)
 			continue
 		}
 		row := m.Row(i)
@@ -129,215 +203,4 @@ func (m *Matrix) MulVecT(x, y []float64) {
 			y[j] += xi * v
 		}
 	}
-}
-
-// mulBlock is the k-panel height of the blocked multiply: mulBlock rows
-// of B (≤ 2KB each at n ≤ 256) stay L1/L2-resident while a C row
-// accumulates across the panel.
-const mulBlock = 64
-
-// MulInto computes dst = a·b into dst (reshaped as needed) without
-// allocating beyond dst's backing array. dst must not alias a or b.
-// The k loop is tiled so each panel of b is reused across every row of
-// a while still hot.
-func MulInto(dst, a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("linalg: Mul dims %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	dst.Reshape(a.Rows, b.Cols)
-	for kk := 0; kk < a.Cols; kk += mulBlock {
-		kend := kk + mulBlock
-		if kend > a.Cols {
-			kend = a.Cols
-		}
-		for i := 0; i < a.Rows; i++ {
-			arow := a.Row(i)
-			crow := dst.Row(i)
-			for k := kk; k < kend; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	}
-	return dst
-}
-
-// Mul computes C = A·B into a fresh matrix.
-func Mul(a, b *Matrix) *Matrix {
-	return MulInto(NewMatrix(a.Rows, b.Cols), a, b)
-}
-
-// LU is a compact LU factorisation with partial pivoting: PA = LU. An
-// LU's storage is reused across FactorInto calls, and Solve/InverseInto
-// run out of its internal scratch, so a long-lived LU performs no
-// steady-state allocation. An LU is not safe for concurrent use.
-type LU struct {
-	lu   *Matrix
-	piv  []int
-	sign float64
-	work []float64 // Solve scratch
-	aux  []float64 // InverseInto column scratch
-}
-
-// NewLU returns an LU with storage preallocated for n×n factorisations.
-func NewLU(n int) *LU {
-	return &LU{
-		lu:   NewMatrix(n, n),
-		piv:  make([]int, n),
-		work: make([]float64, n),
-		aux:  make([]float64, n),
-	}
-}
-
-// Factor computes the LU factorisation of a square matrix into fresh
-// storage. The input is not modified.
-func Factor(a *Matrix) (*LU, error) {
-	f := NewLU(a.Rows)
-	if err := f.FactorInto(a); err != nil {
-		return nil, err
-	}
-	return f, nil
-}
-
-// FactorInto factorises a into f's storage, growing it if needed but
-// never allocating once f has seen a matrix of this size. The input is
-// not modified. On error f's previous factorisation is destroyed.
-func (f *LU) FactorInto(a *Matrix) error {
-	if a.Rows != a.Cols {
-		return fmt.Errorf("linalg: Factor needs square matrix, got %dx%d", a.Rows, a.Cols)
-	}
-	n := a.Rows
-	if f.lu == nil {
-		f.lu = &Matrix{}
-	}
-	f.lu.CopyFrom(a)
-	if cap(f.piv) < n {
-		f.piv = make([]int, n)
-		f.work = make([]float64, n)
-		f.aux = make([]float64, n)
-	}
-	f.piv = f.piv[:n]
-	f.work = f.work[:n]
-	f.aux = f.aux[:n]
-	lu := f.lu
-	for i := range f.piv {
-		f.piv[i] = i
-	}
-	f.sign = 1.0
-	for k := 0; k < n; k++ {
-		// Pivot selection.
-		p, max := k, math.Abs(lu.At(k, k))
-		for i := k + 1; i < n; i++ {
-			if v := math.Abs(lu.At(i, k)); v > max {
-				p, max = i, v
-			}
-		}
-		if max < 1e-14 {
-			return fmt.Errorf("%w: pivot %d ~ %g", ErrSingular, k, max)
-		}
-		if p != k {
-			rk, rp := lu.Row(k), lu.Row(p)
-			for j := range rk {
-				rk[j], rp[j] = rp[j], rk[j]
-			}
-			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
-			f.sign = -f.sign
-		}
-		// Elimination.
-		pivot := lu.At(k, k)
-		rowk := lu.Row(k)
-		for i := k + 1; i < n; i++ {
-			rowi := lu.Row(i)
-			fac := rowi[k] / pivot
-			rowi[k] = fac
-			if fac == 0 {
-				continue
-			}
-			for j := k + 1; j < n; j++ {
-				rowi[j] -= fac * rowk[j]
-			}
-		}
-	}
-	return nil
-}
-
-// Solve solves A·x = b into x (x and b may alias). It runs out of the
-// LU's internal scratch and does not allocate.
-func (f *LU) Solve(b, x []float64) {
-	n := f.lu.Rows
-	if len(b) != n || len(x) != n {
-		panic("linalg: Solve dimension mismatch")
-	}
-	// Apply permutation.
-	tmp := f.work
-	for i := 0; i < n; i++ {
-		tmp[i] = b[f.piv[i]]
-	}
-	// Forward substitution (L has unit diagonal).
-	for i := 1; i < n; i++ {
-		row := f.lu.Row(i)
-		s := tmp[i]
-		for j := 0; j < i; j++ {
-			s -= row[j] * tmp[j]
-		}
-		tmp[i] = s
-	}
-	// Back substitution.
-	for i := n - 1; i >= 0; i-- {
-		row := f.lu.Row(i)
-		s := tmp[i]
-		for j := i + 1; j < n; j++ {
-			s -= row[j] * tmp[j]
-		}
-		tmp[i] = s / row[i]
-	}
-	copy(x, tmp)
-}
-
-// Inverse computes A⁻¹ into a fresh matrix.
-func (f *LU) Inverse() *Matrix {
-	return f.InverseInto(NewMatrix(f.lu.Rows, f.lu.Rows))
-}
-
-// InverseInto computes A⁻¹ column by column into dst (reshaped as
-// needed) without allocating beyond dst's backing array.
-func (f *LU) InverseInto(dst *Matrix) *Matrix {
-	n := f.lu.Rows
-	dst.Reshape(n, n)
-	e := f.aux
-	for j := 0; j < n; j++ {
-		for i := range e {
-			e[i] = 0
-		}
-		e[j] = 1
-		f.Solve(e, e)
-		for i := 0; i < n; i++ {
-			dst.Set(i, j, e[i])
-		}
-	}
-	return dst
-}
-
-// Det returns the determinant from the factorisation.
-func (f *LU) Det() float64 {
-	d := f.sign
-	for i := 0; i < f.lu.Rows; i++ {
-		d *= f.lu.At(i, i)
-	}
-	return d
-}
-
-// Invert is a convenience wrapper: Factor + Inverse.
-func Invert(a *Matrix) (*Matrix, error) {
-	f, err := Factor(a)
-	if err != nil {
-		return nil, err
-	}
-	return f.Inverse(), nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package linalg
+
+// raceEnabled reports whether the race detector is active. sync.Pool
+// deliberately drops Puts at random under -race, so allocation pins on
+// pool-backed paths only hold without it.
+const raceEnabled = false

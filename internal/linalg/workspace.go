@@ -14,6 +14,7 @@ type Workspace struct {
 	vecs []([]float64)
 	mats []*Matrix
 	lus  []*LU
+	bufs []*gemmBuf
 }
 
 // NewWorkspace returns an empty workspace.
@@ -90,4 +91,26 @@ func (w *Workspace) PutLU(f *LU) {
 		return
 	}
 	w.lus = append(w.lus, f)
+}
+
+// packBuf returns a GEMM packing workspace (A block, B panel, bounce
+// tile), reusing a pooled one when available. The packed multiply
+// paths take one per call, so a caller that multiplies in a loop with
+// the same Workspace reaches zero steady-state allocation.
+func (w *Workspace) packBuf() *gemmBuf {
+	if last := len(w.bufs) - 1; last >= 0 {
+		b := w.bufs[last]
+		w.bufs[last] = nil
+		w.bufs = w.bufs[:last]
+		return b
+	}
+	return new(gemmBuf)
+}
+
+// putPackBuf returns a packing workspace to the pool.
+func (w *Workspace) putPackBuf(b *gemmBuf) {
+	if b == nil {
+		return
+	}
+	w.bufs = append(w.bufs, b)
 }

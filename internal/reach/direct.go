@@ -105,7 +105,9 @@ func computeSourceDirect(P *linalg.Matrix, lens []float64, i int, probRow, distR
 		numII += srcRow[v] * gcirc[v]
 	}
 	probRow[i] = clamp01(rpII)
-	if rpII > 0 {
+	// Matches the shared engine: distances are only defined where the
+	// return probability is meaningfully above round-off.
+	if rpII > 1e-12 {
 		distRow[i] = lens[i] + numII/rpII
 	}
 

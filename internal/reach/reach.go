@@ -131,7 +131,15 @@ func ComputeOpts(g *cfg.Graph, opts Options) (*Result, error) {
 	}
 	res := &Result{G: g, Prob: linalg.NewMatrix(n, n), Dist: linalg.NewMatrix(n, n)}
 
-	sc, ok := newSharedChain(P, lens, ws)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	sc, ok := newSharedChain(P, lens, ws, workers)
 	if !ok {
 		// Singular or ill-conditioned base chain: the rank-2 updates
 		// would amplify factorisation error, so run the reference path.
@@ -140,14 +148,6 @@ func ComputeOpts(g *cfg.Graph, opts Options) (*Result, error) {
 		ws.PutMatrix(P)
 		wsPool.Put(ws)
 		return finish(res, err)
-	}
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
 	}
 
 	var err error
@@ -252,9 +252,12 @@ type sharedChain struct {
 }
 
 // newSharedChain factorises the base chain once and materialises the
-// shared products. ok is false when the base chain is singular or so
-// ill-conditioned that per-source refactorisation is the safer path.
-func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace) (*sharedChain, bool) {
+// shared products — all through the packed register-blocked kernels,
+// with the trailing-update fan-out bounded by workers (deterministic:
+// the products are byte-identical for every worker count). ok is false
+// when the base chain is singular or so ill-conditioned that
+// per-source refactorisation is the safer path.
+func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace, workers int) (*sharedChain, bool) {
 	n := P.Rows
 	A := ws.Matrix(n, n)
 	for r := 0; r < n; r++ {
@@ -266,6 +269,7 @@ func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace) (*sh
 		Arow[r] += 1
 	}
 	lu := ws.LU(n)
+	lu.Workers = workers
 	if err := lu.FactorInto(A); err != nil {
 		ws.PutMatrix(A)
 		ws.PutLU(lu)
@@ -294,7 +298,7 @@ func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace) (*sh
 		}
 	}
 	M0 := ws.Matrix(n, n)
-	linalg.MulInto(M0, ND, N)
+	linalg.MulIntoOpt(M0, ND, N, workers, ws)
 	ws.PutMatrix(ND)
 
 	sc := &sharedChain{n: n, P: P, lens: lens, N: N, M0: M0}
@@ -425,11 +429,7 @@ func computeSource(sc *sharedChain, i int, probRow, distRow []float64, ss *sourc
 		w1[u] = 0
 	}
 	for e, v := range ss.srcIdx {
-		pv := ss.srcP[e]
-		row := N.Row(int(v))
-		for u, nv := range row {
-			w1[u] += pv * nv
-		}
+		linalg.Axpy(ss.srcP[e], N.Row(int(v)), w1)
 	}
 
 	// Capture matrix S = I₂ + Vᵀ·K and its inverse.
@@ -554,7 +554,11 @@ func computeSource(sc *sharedChain, i int, probRow, distRow []float64, ss *sourc
 		numII += pv * gcirc[v]
 	}
 	probRow[i] = clamp01(rpII)
-	if rpII > 0 {
+	// Same guard as the j != i pairs: a return probability at round-off
+	// scale would make numII/rpII a noise ratio (and the two engines
+	// disagree on noise), so such pairs report distance 0 like any other
+	// unreachable pair.
+	if rpII > 1e-12 {
 		distRow[i] = lens[i] + numII/rpII
 	}
 

@@ -55,6 +55,36 @@ func TestSharedMatchesDirectProperty(t *testing.T) {
 	}
 }
 
+// TestSharedMatchesDirectRegressions replays fuzz inputs that once
+// broke parity. The first one builds a chain whose only return path to
+// one node runs through an absorbing self-loop: the return probability
+// is pure round-off, and both engines used to divide noise by noise
+// (diverging by ~17 instructions) instead of reporting the pair
+// unreachable.
+func TestSharedMatchesDirectRegressions(t *testing.T) {
+	inputs := [][]uint16{
+		{0xcf0b, 0xfaba, 0x3e91, 0x8b76, 0x2558, 0x9980, 0xae4a, 0xfe86,
+			0x325c, 0x5cc3, 0x4b2f, 0x3569, 0x5bdb, 0x4664, 0x29f4, 0xb50d, 0xc7d3},
+	}
+	for ii, raw := range inputs {
+		g := randomFlowGraph(raw)
+		direct, derr := ComputeDirect(g)
+		shared, serr := Compute(g)
+		if (derr == nil) != (serr == nil) {
+			t.Fatalf("input %d: error mismatch: %v vs %v", ii, derr, serr)
+		}
+		if derr != nil {
+			continue
+		}
+		if d := maxAbsDiff(direct.Prob.Data, shared.Prob.Data); d > 1e-9 {
+			t.Errorf("input %d: Prob diverges by %g", ii, d)
+		}
+		if d := maxAbsDiff(direct.Dist.Data, shared.Dist.Data); d > 1e-9 {
+			t.Errorf("input %d: Dist diverges by %g", ii, d)
+		}
+	}
+}
+
 // TestSharedMatchesDirectOnBenchmark checks parity on a real pruned
 // benchmark CFG. Real chains can be orders of magnitude worse
 // conditioned than the randomised ones (hot loops leak very little), so

@@ -46,12 +46,22 @@ func TestColdStartServesFromDiskStore(t *testing.T) {
 	if bresp.StatusCode != http.StatusOK {
 		t.Fatalf("batch status = %d", bresp.StatusCode)
 	}
+	// Shut the first life down the way the server binary does: Close
+	// drains the async write-through queue, so everything the run
+	// computed is durable before the "restart".
+	srv1.Engine().Close()
 	firstStats := srv1.Engine().Stats()
 	if firstStats.Latency["emu"].Count == 0 {
 		t.Fatal("first run executed no emulation jobs; test is vacuous")
 	}
 	if firstStats.Disk == nil || firstStats.Disk.Writes == 0 {
 		t.Fatalf("first run wrote nothing to disk: %+v", firstStats.Disk)
+	}
+	if firstStats.Disk.AsyncWrites == 0 {
+		t.Fatalf("write-through did not go through the async queue: %+v", firstStats.Disk)
+	}
+	if firstStats.Disk.QueueDepth != 0 {
+		t.Fatalf("Close left %d writes queued", firstStats.Disk.QueueDepth)
 	}
 	ts1.Close()
 
@@ -111,12 +121,14 @@ func TestStatsExposesDiskTier(t *testing.T) {
 		t.Error("memory-only engine must not report a disk tier")
 	}
 
-	_, tsDisk := diskServer(t, t.TempDir())
+	srvDisk, tsDisk := diskServer(t, t.TempDir())
 	resp, _ := postJSON(t, tsDisk.URL+"/v1/simulate",
 		`{"bench":"compress","size":"test","policy":"none","tus":1}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatal("simulate failed")
 	}
+	// Writes are asynchronous now; drain before asserting counters.
+	srvDisk.Engine().Disk().Flush()
 	var st statsResponse
 	getJSON(t, tsDisk.URL+"/v1/stats", &st)
 	if st.Engine.Disk == nil {
@@ -124,5 +136,11 @@ func TestStatsExposesDiskTier(t *testing.T) {
 	}
 	if st.Engine.Disk.Writes == 0 || st.Engine.Disk.Entries == 0 || st.Engine.Disk.BytesResident == 0 {
 		t.Errorf("disk tier stats look empty: %+v", st.Engine.Disk)
+	}
+	if st.Engine.Disk.AsyncWrites == 0 || st.Engine.Disk.Flushes == 0 {
+		t.Errorf("async writer counters missing from /v1/stats: %+v", st.Engine.Disk)
+	}
+	if st.Engine.Disk.QueueDepth != 0 {
+		t.Errorf("queue_depth = %d after flush, want 0", st.Engine.Disk.QueueDepth)
 	}
 }

@@ -15,10 +15,12 @@
 #
 # When a baseline is given, the freshly-generated JSON is diffed
 # against it and the script exits nonzero if any benchmark regressed
-# by more than 2x ns/op. Benchmarks whose baseline is under
-# MIN_GATE_NS (default 1ms) are skipped: at CI's few-iteration
-# benchtime a micro-benchmark's measurement is dominated by timer and
-# warm-up noise, and gating on it would flake.
+# by more than 2x ns/op, or if any baseline name is missing from the
+# fresh output (a renamed benchmark must update the baseline, not
+# silently leave the gate). Benchmarks whose baseline is under
+# MIN_GATE_NS (default 1ms) are exempt from the ratio check only: at
+# CI's few-iteration benchtime a micro-benchmark's measurement is
+# dominated by timer and warm-up noise, and gating on it would flake.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -101,8 +103,12 @@ if [ -n "$baseline" ]; then
         printf("ok %s: %.2fx baseline\n", name, ratio)
       }
     }
+    # Every committed baseline name must appear in the fresh run —
+    # including the sub-1ms ones exempt from the ratio gate. A renamed
+    # or deleted benchmark must update the baseline explicitly, not
+    # silently fall out of the gate.
     for (name in base) {
-      if (base[name] >= min_ns && !(name in fresh)) {
+      if (!(name in fresh)) {
         printf("MISSING benchmark %s disappeared from fresh run\n", name)
         bad = 1
       }

@@ -7,10 +7,19 @@
 // warms the memory tier at boot, so a restarted server answers
 // previously-seen requests without re-running emulation.
 //
+// Peer mode (-self + -peers) joins the process to a shard cluster: a
+// consistent-hash ring over the member list assigns every artifact key
+// an owning node, requests to any node are routed to their owner (so
+// any node is a valid entry point), shards exchange computed artifact
+// images over GET /v1/artifacts instead of recomputing, and a node
+// whose owner is down answers by local compute. Every member must be
+// started with the same -peers list.
+//
 // Usage:
 //
 //	spmt-server [-addr :8080] [-parallel N] [-cache-entries N] [-cache-bytes 512MB]
 //	            [-store-dir /var/lib/spmt] [-store-bytes 4GB]
+//	            [-self http://host0:8080 -peers http://host0:8080,http://host1:8080,… [-vnodes 128]]
 //
 // Endpoints:
 //
@@ -32,12 +41,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/engine/codec"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -47,11 +58,28 @@ func main() {
 	cacheBytes := flag.String("cache-bytes", "", "memory-tier resident-byte budget, e.g. 512MB (empty = unbounded)")
 	storeDir := flag.String("store-dir", "", "disk-tier directory for persistent artifacts (empty = memory-only)")
 	storeBytes := flag.String("store-bytes", "", "disk-tier byte budget, e.g. 4GB (empty = unbounded)")
+	self := flag.String("self", "", "this node's URL as peers reach it, e.g. http://host0:8080 (enables peer mode)")
+	peers := flag.String("peers", "", "comma-separated URLs of every cluster member, including -self")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default)")
 	flag.Parse()
 
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "spmt-server: -parallel must be >= 1")
 		os.Exit(2)
+	}
+	var cl *shard.Cluster
+	if (*self == "") != (*peers == "") {
+		fmt.Fprintln(os.Stderr, "spmt-server: peer mode needs both -self and -peers")
+		os.Exit(2)
+	}
+	if *self != "" {
+		members := strings.Split(*peers, ",")
+		var err error
+		cl, err = shard.New(*self, members, shard.Options{VNodes: *vnodes})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmt-server: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	maxBytes := parseBytesFlag("-cache-bytes", *cacheBytes)
 	opts := engine.Options{Workers: *parallel, CacheEntries: *cacheEntries, CacheBytes: maxBytes}
@@ -66,6 +94,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spmt-server: -store-bytes needs -store-dir")
 		os.Exit(2)
 	}
+	if cl != nil {
+		opts.Remote = shard.NewFetcher(cl, codec.New())
+	}
 	eng := engine.New(opts)
 	if *storeDir != "" {
 		start := time.Now()
@@ -73,7 +104,11 @@ func main() {
 		log.Printf("spmt-server: warmed %d artifacts from %s in %v",
 			n, *storeDir, time.Since(start).Round(time.Millisecond))
 	}
-	srv := server.New(eng)
+	srv := server.NewCluster(eng, cl)
+	if cl != nil {
+		log.Printf("spmt-server: peer mode: self=%s members=%v (vnodes=%d)",
+			cl.Self(), cl.Members(), cl.Ring().VNodes())
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

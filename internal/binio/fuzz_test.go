@@ -1,0 +1,117 @@
+package binio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader drives every Reader primitive over arbitrary bytes, with
+// the input itself selecting the op sequence. The contract under fuzz:
+// no panic, no unbounded allocation (Count's elemMin guard), and the
+// sticky error keeps every later read a cheap zero-value return.
+func FuzzReader(f *testing.F) {
+	// Seeds: a well-formed stream touching every primitive, plus the
+	// classic corruptions — truncation, scribbled varints, a huge
+	// length prefix.
+	w := NewWriter(64)
+	w.U8(1)
+	w.Bool(true)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.F64(3.14159)
+	w.Uvarint(300)
+	w.Varint(-7)
+	w.Int(42)
+	w.Blob([]byte("blob"))
+	w.String("str")
+	good := w.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add(append([]byte{0x09, 0xFF}, bytes.Repeat([]byte{0x80}, 16)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for r.Err() == nil && r.Remaining() > 0 {
+			switch r.U8() % 12 {
+			case 0:
+				r.U8()
+			case 1:
+				r.Bool()
+			case 2:
+				r.U32()
+			case 3:
+				r.U64()
+			case 4:
+				r.F64()
+			case 5:
+				r.Uvarint()
+			case 6:
+				r.Varint()
+			case 7:
+				r.Int()
+			case 8:
+				// Count's bound is the whole point: a scribbled length
+				// prefix must not provoke a huge allocation.
+				n := r.Count(8)
+				if r.Err() == nil && n > r.Remaining() {
+					t.Fatalf("Count(8) = %d exceeds %d remaining bytes", n, r.Remaining())
+				}
+				_ = make([]uint64, n)
+			case 9:
+				b := r.Blob()
+				if r.Err() == nil && len(b) > len(data) {
+					t.Fatalf("Blob longer than input: %d > %d", len(b), len(data))
+				}
+			case 10:
+				_ = r.String()
+			case 11:
+				r.Raw(int(r.U8()))
+			}
+		}
+		// The sticky error must make every further read free and safe.
+		if r.Err() != nil {
+			before := r.Remaining()
+			r.U64()
+			r.Blob()
+			r.Count(1)
+			if r.Remaining() != before {
+				t.Fatal("reads after a sticky error must not consume input")
+			}
+		}
+		_ = r.Close()
+	})
+}
+
+// FuzzRoundTrip checks write→read symmetry for the variable-width
+// primitives over arbitrary values.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), "")
+	f.Add(uint64(1<<63), int64(-1<<62), "spawn-pair")
+	f.Add(uint64(300), int64(127), string([]byte{0, 0xFF, 0x80}))
+
+	f.Fuzz(func(t *testing.T, u uint64, i int64, s string) {
+		w := NewWriter(0)
+		w.Uvarint(u)
+		w.Varint(i)
+		w.String(s)
+		w.Blob([]byte(s))
+		r := NewReader(w.Bytes())
+		if got := r.Uvarint(); got != u {
+			t.Fatalf("Uvarint %d -> %d", u, got)
+		}
+		if got := r.Varint(); got != i {
+			t.Fatalf("Varint %d -> %d", i, got)
+		}
+		if got := r.String(); got != s {
+			t.Fatalf("String %q -> %q", s, got)
+		}
+		if got := r.Blob(); !bytes.Equal(got, []byte(s)) {
+			t.Fatalf("Blob %q -> %q", s, got)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("Close after full read: %v", err)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package codec_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/engine/codec"
+	"repro/internal/isa"
+	"repro/internal/linalg"
+	"repro/internal/reach"
+	"repro/internal/trace"
+)
+
+// fuzzKinds mirrors the codec's wire kind tags (stable constants: a
+// rename orphans every disk artifact, so hardcoding them here is a
+// feature — the fuzzer fails loudly if one drifts).
+var fuzzKinds = []string{
+	"program", "trace", "profile", "emu", "cfg", "matrix", "reach", "table", "sim",
+}
+
+// seedImages encodes one small instance of every artifact kind.
+func seedImages(f *testing.F) [][2]any {
+	c := codec.New()
+	ctr := 0
+	fixGraph := func(g *cfg.Graph) {
+		g.Succ = g.Succ[:0]
+		for range g.Nodes {
+			g.Succ = append(g.Succ, []cfg.Edge{{To: 0, W: 1.5}})
+		}
+		g.ByPC = make(map[uint32]int, len(g.Nodes))
+		for i := range g.Nodes {
+			g.ByPC[g.Nodes[i].PC] = i
+		}
+	}
+	mk := func(v any, fix func()) [2]any {
+		fill(reflect.ValueOf(v).Elem(), &ctr)
+		if fix != nil {
+			fix()
+		}
+		kind, data, ok, err := c.Encode(v)
+		if err != nil || !ok {
+			f.Fatalf("seed encode %T: ok=%v err=%v", v, ok, err)
+		}
+		return [2]any{kind, data}
+	}
+	g := new(cfg.Graph)
+	r := new(reach.Result)
+	m := new(linalg.Matrix)
+	er := new(emu.Result)
+	return [][2]any{
+		mk(new(isa.Program), nil),
+		mk(new(trace.Trace), nil),
+		mk(new(emu.Profile), nil),
+		mk(er, func() { er.Profile.Program = er.Trace.Program }),
+		mk(g, func() { fixGraph(g) }),
+		mk(m, func() { m.Rows, m.Cols = 1, len(m.Data) }),
+		mk(r, func() {
+			fixGraph(r.G)
+			r.Prob.Rows, r.Prob.Cols = 1, len(r.Prob.Data)
+			r.Dist.Rows, r.Dist.Cols = 1, len(r.Dist.Data)
+		}),
+		mk(new(core.Table), nil),
+		mk(new(cluster.Result), nil),
+	}
+}
+
+// FuzzDecode is the disk/artifact-exchange hardening contract: a
+// corrupted or truncated artifact image must produce an error — never
+// a panic, never an unbounded allocation — and a successful decode
+// must yield an internally-consistent artifact: re-encodable,
+// deterministically, with no byte of it aliasing the input image.
+func FuzzDecode(f *testing.F) {
+	seeds := seedImages(f)
+	for ki := range fuzzKinds {
+		data := seeds[ki][1].([]byte)
+		f.Add(uint8(ki), data)
+		// Truncations and a scribbled header as explicit corruption
+		// seeds.
+		f.Add(uint8(ki), data[:len(data)/2])
+		if len(data) > 4 {
+			bad := bytes.Clone(data)
+			bad[2] ^= 0xFF
+			f.Add(uint8(ki), bad)
+		}
+	}
+
+	c := codec.New()
+	f.Fuzz(func(t *testing.T, ki uint8, data []byte) {
+		kind := fuzzKinds[int(ki)%len(fuzzKinds)]
+		// Decode sees data itself (not a copy): the scribble below then
+		// proves no decoded state aliases the input image.
+		v, err := c.Decode(kind, data)
+		if err != nil {
+			return // corrupt image, cleanly rejected
+		}
+		kind2, enc1, ok, err := c.Encode(v)
+		if err != nil || !ok {
+			t.Fatalf("decoded %s does not re-encode: ok=%v err=%v", kind, ok, err)
+		}
+		if kind2 != kind {
+			t.Fatalf("round trip changed kind %s -> %s", kind, kind2)
+		}
+		// No aliasing: scribbling the input image must not change the
+		// decoded artifact's wire form.
+		for i := range data {
+			data[i] = ^data[i]
+		}
+		_, enc2, _, err := c.Encode(v)
+		if err != nil {
+			t.Fatalf("re-encode after input scribble: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("%s: decoded artifact aliases its input buffer", kind)
+		}
+		// The canonical image must decode.
+		if _, err := c.Decode(kind, enc1); err != nil {
+			t.Fatalf("canonical %s image does not decode: %v", kind, err)
+		}
+	})
+}

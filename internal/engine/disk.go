@@ -421,6 +421,39 @@ func (t *DiskTier) Get(key string) (any, bool) {
 	return v, true
 }
 
+// Image returns the stored encoded image (kind tag + payload) under
+// key without decoding it — the cheap path behind a shard's artifact
+// exchange, where the bytes are about to cross the wire anyway and a
+// decode would only pollute the memory tier. Magic/CRC/key are still
+// verified (corrupt files are dropped and reported as a miss, exactly
+// like Get). Pending (queued-but-unwritten) artifacts are not served
+// here; callers fall back to the decoded-value path for those.
+func (t *DiskTier) Image(key string) (kind string, data []byte, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, found := t.items[key]
+	if !found {
+		return "", nil, false
+	}
+	ent := el.Value.(*diskEntry)
+	img, err := os.ReadFile(ent.path)
+	if err == nil {
+		var fileKey string
+		kind, fileKey, data, err = decodeFile(img)
+		if err == nil && fileKey != key {
+			err = fmt.Errorf("key collision: file holds %q", fileKey)
+		}
+	}
+	if err != nil {
+		t.dropLocked(el)
+		t.errors++
+		log.Printf("engine: disk tier: dropping %s: %v", ent.path, err)
+		return "", nil, false
+	}
+	t.ll.MoveToFront(el)
+	return kind, data, true
+}
+
 // load reads and decodes one artifact file. Callers must hold t.mu.
 func (t *DiskTier) load(ent *diskEntry, key string) (any, error) {
 	img, err := os.ReadFile(ent.path)

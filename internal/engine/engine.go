@@ -56,6 +56,12 @@ type Options struct {
 	// memory), computed artifacts are written through, and memory
 	// evictions are demoted instead of discarded. See OpenDiskTier.
 	Disk *DiskTier
+	// Remote, when non-nil, is consulted after a local store miss and
+	// before computing: a shard cluster wires this to the owning
+	// node's artifact-exchange endpoint so artifacts transfer instead
+	// of being recomputed. Fetched artifacts are added through the
+	// local store (and so written through to Disk).
+	Remote RemoteFetcher
 }
 
 // Stats is a point-in-time snapshot of engine activity.
@@ -88,8 +94,12 @@ type call struct {
 // shared by every suite and server request in the process so they hit
 // each other's warm artifacts.
 type Engine struct {
-	slots    chan struct{}
+	slots chan struct{}
+	// store is what Exec memoizes through; local is the same chain
+	// minus the remote-fetch layer (identical when Options.Remote is
+	// nil) — the view Peek and WarmFromDisk use.
 	store    Store
+	local    Store
 	mem      *Cache
 	disk     *DiskTier
 	latency  *latencyRecorder
@@ -106,13 +116,18 @@ func New(opts Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	mem := NewCacheSized(opts.CacheEntries, opts.CacheBytes)
-	var store Store = mem
+	var local Store = mem
 	if opts.Disk != nil {
-		store = NewTieredStore(mem, opts.Disk)
+		local = NewTieredStore(mem, opts.Disk)
+	}
+	store := local
+	if opts.Remote != nil {
+		store = newRemoteStore(local, opts.Remote)
 	}
 	return &Engine{
 		slots:    make(chan struct{}, w),
 		store:    store,
+		local:    local,
 		mem:      mem,
 		disk:     opts.Disk,
 		latency:  newLatencyRecorder(),
@@ -161,7 +176,7 @@ func (e *Engine) Close() {
 // replayed least recently used first so recency ends hottest-first. A
 // memory-only engine warms nothing.
 func (e *Engine) WarmFromDisk() int {
-	ts, ok := e.store.(*TieredStore)
+	ts, ok := e.local.(*TieredStore)
 	if !ok || e.disk == nil {
 		return 0
 	}

@@ -1,0 +1,115 @@
+// Remote artifact fetch: a clustered engine consults a RemoteFetcher
+// on every store miss before computing, so an artifact another shard
+// already computed is transferred (one codec decode) instead of
+// re-derived (emulation, factorisation, simulation). The hook layers
+// over the tiered store — a fetched artifact is Added through it, so
+// it lands in the memory tier and write-through makes it durable in
+// the local disk tier like any locally-computed artifact.
+package engine
+
+import "sync"
+
+// RemoteFetcher fetches an artifact computed elsewhere (typically the
+// owning shard of a cluster) by its content key. Implementations
+// report ok=false for any failure — unknown key, unreachable peer,
+// corrupt image — and the engine computes locally. Implementations
+// must be safe for concurrent use, and must bound their own latency
+// (the shard fetcher's FetchTimeout): Fetch runs without the calling
+// job's context, so a cancelled caller can remain blocked behind an
+// in-flight fetch for at most that bound.
+type RemoteFetcher interface {
+	Fetch(key string) (any, bool)
+}
+
+// remoteStore chains a RemoteFetcher behind the local store tiers.
+type remoteStore struct {
+	local  Store
+	remote RemoteFetcher
+	// Fetch-and-add is serialised PER KEY (a fetch is a network round
+	// trip that can run for seconds — a global mutex here would stall
+	// every unrelated store miss in the process behind one slow
+	// owner): concurrent misses on one key decode a fetched image once
+	// and observe a single pointer, the identity guarantee the tiered
+	// store's promotion path provides, extended over the network.
+	mu       sync.Mutex
+	inflight map[string]*fetchCall
+}
+
+type fetchCall struct {
+	done chan struct{}
+	v    any
+	ok   bool
+}
+
+func newRemoteStore(local Store, remote RemoteFetcher) *remoteStore {
+	return &remoteStore{local: local, remote: remote, inflight: make(map[string]*fetchCall)}
+}
+
+// Get reads through: local tiers first, then the remote fetcher.
+func (s *remoteStore) Get(key string) (any, bool) {
+	if v, ok := s.local.Get(key); ok {
+		return v, true
+	}
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.v, c.ok
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+	// A concurrent caller may have fetched (or a compute leader
+	// completed and published) between our miss and the registration.
+	if v, ok := s.local.Recheck(key); ok {
+		c.v, c.ok = v, true
+	} else if v, ok := s.remote.Fetch(key); ok {
+		s.local.Add(key, v)
+		c.v, c.ok = v, true
+	}
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(c.done)
+	return c.v, c.ok
+}
+
+// Recheck stays local: the leader double-check must not pay a network
+// round trip for a race the fetch path above already covers.
+func (s *remoteStore) Recheck(key string) (any, bool) { return s.local.Recheck(key) }
+
+// Add stores locally; shards never push artifacts, peers pull them.
+func (s *remoteStore) Add(key string, val any) { s.local.Add(key, val) }
+
+// Peek returns the artifact under key from the local store tiers only
+// — never the remote fetcher, never by running a job. It is the
+// lookup behind a shard's artifact-exchange endpoint, where consulting
+// the remote would bounce a request between nodes that disagree about
+// ownership instead of reporting a clean miss.
+func (e *Engine) Peek(key string) (any, bool) {
+	if key == "" {
+		return nil, false
+	}
+	return e.local.Get(key)
+}
+
+// PeekMemory is Peek restricted to the memory tier (no disk read, no
+// promotion, no stats).
+func (e *Engine) PeekMemory(key string) (any, bool) {
+	if key == "" {
+		return nil, false
+	}
+	return e.mem.Recheck(key)
+}
+
+// PeekImage returns the already-encoded disk image of a disk-resident
+// artifact (kind tag + payload) without decoding it or promoting it
+// into the memory tier. A memory-only engine, a memory-only key, or a
+// queued-but-unwritten artifact reports false; callers then encode via
+// Peek.
+func (e *Engine) PeekImage(key string) (kind string, data []byte, ok bool) {
+	if key == "" || e.disk == nil {
+		return "", nil, false
+	}
+	return e.disk.Image(key)
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeFetcher serves a fixed key map and counts calls.
+type fakeFetcher struct {
+	mu    sync.Mutex
+	vals  map[string]any
+	calls atomic.Int64
+}
+
+func (f *fakeFetcher) Fetch(key string) (any, bool) {
+	f.calls.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.vals[key]
+	return v, ok
+}
+
+// TestRemoteFetchSkipsCompute: a key the fetcher serves must never run
+// its job, and the fetched value must be memoized locally so later
+// Execs skip even the fetch.
+func TestRemoteFetchSkipsCompute(t *testing.T) {
+	ff := &fakeFetcher{vals: map[string]any{"sim/warm": "remote-value"}}
+	e := New(Options{Workers: 2, Remote: ff})
+
+	ran := false
+	job := Job{Key: "sim/warm", Run: func(ctx context.Context, deps []any) (any, error) {
+		ran = true
+		return "local-value", nil
+	}}
+	v, err := e.Exec(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran || v != "remote-value" {
+		t.Fatalf("Exec = %v (ran=%v), want remote-value without running", v, ran)
+	}
+	if _, err := e.Exec(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if n := ff.calls.Load(); n != 1 {
+		t.Errorf("fetcher called %d times, want 1 (second Exec must hit the local cache)", n)
+	}
+
+	// A key the fetcher misses computes locally exactly once.
+	miss := Job{Key: "sim/cold", Run: func(ctx context.Context, deps []any) (any, error) {
+		return "computed", nil
+	}}
+	if v, err := e.Exec(context.Background(), miss); err != nil || v != "computed" {
+		t.Fatalf("miss Exec = %v, %v", v, err)
+	}
+}
+
+// TestRemoteFetchSingleDecode: concurrent Execs of one remote-served
+// key must observe a single value instance (the fetch-and-add path is
+// serialised), mirroring the tiered store's promotion identity
+// guarantee.
+func TestRemoteFetchSingleDecode(t *testing.T) {
+	type box struct{ n int }
+	ff := &fakeFetcher{vals: map[string]any{"reach/x": &box{7}}}
+	e := New(Options{Workers: 4, Remote: ff})
+	job := Job{Key: "reach/x", Run: func(ctx context.Context, deps []any) (any, error) {
+		t.Error("job must not run")
+		return nil, nil
+	}}
+	var wg sync.WaitGroup
+	got := make([]any, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := e.Exec(context.Background(), job)
+			if err != nil {
+				t.Error(err)
+			}
+			got[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d observed a different pointer", i)
+		}
+	}
+}
+
+// TestPeekStaysLocal: Peek must consult only the local tiers — a
+// remote-served key is invisible to it until something Execs it.
+func TestPeekStaysLocal(t *testing.T) {
+	ff := &fakeFetcher{vals: map[string]any{"sim/remote-only": "v"}}
+	e := New(Options{Workers: 1, Remote: ff})
+	if _, ok := e.Peek("sim/remote-only"); ok {
+		t.Fatal("Peek must not consult the remote fetcher")
+	}
+	if n := ff.calls.Load(); n != 0 {
+		t.Fatalf("Peek triggered %d fetches", n)
+	}
+	if _, err := e.Exec(context.Background(), Job{Key: "sim/remote-only",
+		Run: func(ctx context.Context, deps []any) (any, error) { return nil, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := e.Peek("sim/remote-only"); !ok || v != "v" {
+		t.Fatalf("Peek after Exec = %v, %v", v, ok)
+	}
+	if _, ok := e.Peek(""); ok {
+		t.Error("empty key must miss")
+	}
+}

@@ -41,6 +41,51 @@ const spawnWindowFactor = 4
 // keys change if these constants do (content-keyed caching).
 var pipeHash = engine.KeyHash("coverage", pruneCoverage, "maxnodes", pruneMaxNodes, "window", spawnWindowFactor)
 
+// BenchKey returns the engine artifact key of the composite bench job
+// for one benchmark — the routing key a shard cluster hashes to place
+// /v1/analyze- and /v1/pairs-style work. It is computable without
+// building any artifact.
+func BenchKey(name string, size workload.SizeClass) string {
+	return "bench/" + name + "/" + size.String() + "/" + pipeHash
+}
+
+// profileTableKey is the artifact key of a profile-based spawn table.
+func profileTableKey(name string, size workload.SizeClass, crit core.Criterion) string {
+	return fmt.Sprintf("table/%s/%s/%s/%v", name, size, pipeHash, crit)
+}
+
+// heuristicTableKey is the artifact key of the combined-heuristics
+// spawn table.
+func heuristicTableKey(name string, size workload.SizeClass) string {
+	return fmt.Sprintf("heur/%s/%s/%s", name, size, pipeHash)
+}
+
+// TableKey returns the artifact key of the spawn table the policy
+// selects for one benchmark (the /v1/pairs routing key). Policy "none"
+// builds no table and returns ""; an unknown policy errors.
+func TableKey(name string, size workload.SizeClass, policy string) (string, error) {
+	switch policy {
+	case "none":
+		return "", nil
+	case "profile":
+		return profileTableKey(name, size, core.MaxDistance), nil
+	case "profile-indep":
+		return profileTableKey(name, size, core.MaxIndependent), nil
+	case "profile-pred":
+		return profileTableKey(name, size, core.MaxPredictable), nil
+	case "heuristics":
+		return heuristicTableKey(name, size), nil
+	default:
+		return "", fmt.Errorf("expt: unknown policy %q", policy)
+	}
+}
+
+// SimKey returns the artifact key of one simulation (sp.Bench must be
+// set) — the per-spec routing key for /v1/simulate and /v1/batch.
+func SimKey(size workload.SizeClass, sp SimSpec) string {
+	return fmt.Sprintf("sim/%s/%s/%s", size, pipeHash, sp.key())
+}
+
 // Bench caches every pipeline artefact for one benchmark. Spawn tables
 // and simulation results are memoized on the suite's engine, so a
 // Bench is safe to share across goroutines.
@@ -182,7 +227,7 @@ func (s *Suite) benchJob(name string) engine.Job {
 		},
 	}
 	return engine.Job{
-		Key:  "bench/" + stem + "/" + pipeHash,
+		Key:  BenchKey(name, s.Size),
 		Deps: []engine.Job{emuJob, cfgJob, reachJob},
 		Run: func(ctx context.Context, deps []any) (any, error) {
 			res := deps[0].(*emu.Result)
@@ -203,7 +248,7 @@ func (s *Suite) benchJob(name string) engine.Job {
 // spawn table under the given ordering criterion.
 func (b *Bench) profileTableJob(crit core.Criterion) engine.Job {
 	return engine.Job{
-		Key: fmt.Sprintf("table/%s/%s/%s/%v", b.Name, b.size, pipeHash, crit),
+		Key: profileTableKey(b.Name, b.size, crit),
 		Run: func(ctx context.Context, deps []any) (any, error) {
 			return core.Select(b.Profile, b.Graph, b.Reach, b.Trace, core.Config{Criterion: crit})
 		},
@@ -214,7 +259,7 @@ func (b *Bench) profileTableJob(crit core.Criterion) engine.Job {
 // traditional-heuristics table.
 func (b *Bench) heuristicTableJob() engine.Job {
 	return engine.Job{
-		Key: fmt.Sprintf("heur/%s/%s/%s", b.Name, b.size, pipeHash),
+		Key: heuristicTableKey(b.Name, b.size),
 		Run: func(ctx context.Context, deps []any) (any, error) {
 			return heuristic.Pairs(b.Trace.Program, b.Profile, b.Trace, heuristic.Combined, heuristic.Config{}), nil
 		},
@@ -312,7 +357,7 @@ func (s *Suite) simJob(b *Bench, sp SimSpec) (engine.Job, error) {
 		return engine.Job{}, err
 	}
 	return engine.Job{
-		Key:  fmt.Sprintf("sim/%s/%s/%s", s.Size, pipeHash, sp.key()),
+		Key:  SimKey(s.Size, sp),
 		Deps: []engine.Job{tj},
 		Run: func(ctx context.Context, deps []any) (any, error) {
 			return cluster.Simulate(b.Trace, cluster.Config{

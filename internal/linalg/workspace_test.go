@@ -177,6 +177,12 @@ func TestZeroAllocKernels(t *testing.T) {
 		"MulVecT":     func() { a.MulVecT(b, y) },
 	}
 	for name, fn := range cases {
+		if name == "MulInto" && raceEnabled {
+			// MulInto's packing buffers come from a sync.Pool, and the
+			// race detector deliberately drops pool Puts at random (see
+			// raceEnabled), so the zero-alloc pin only holds without it.
+			continue
+		}
 		fn() // warm up sizing
 		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
 			t.Errorf("%s allocates %.1f objects per run, want 0", name, allocs)

@@ -174,8 +174,13 @@ func (sp *batchSpec) validate(i int) (expt.SimSpec, error) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req batchRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeBody(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -213,6 +218,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			seen[sp.Bench] = true
 			benches = append(benches, sp.Bench)
 		}
+	}
+	// Peer mode: fan the validated grid out per-spec to the owning
+	// shards and merge their NDJSON streams back in request order.
+	// Forwarded sub-batches land below, on the plain local path.
+	if s.cluster != nil && !forwarded(r) {
+		s.handleBatchSharded(w, r, sz, specs, resolved)
+		return
 	}
 	suite, err := expt.NewSuiteEngine(s.eng, sz, benches)
 	if err != nil {

@@ -12,12 +12,22 @@
 //	POST /v1/simulate     {"bench","size","policy",…} → simulation result
 //	POST /v1/batch        {"size","specs"|"sweep"}    → NDJSON stream, one sim per line
 //	GET  /v1/figures/{id} ?size=test&bench=a,b        → one paper figure as JSON
-//	GET  /v1/stats                                    → engine/store counters (per tier)
+//	GET  /v1/artifacts    ?key=…                      → encoded artifact image (shard exchange)
+//	GET  /v1/stats                                    → engine/store/shard counters
+//
+// In peer mode (NewCluster) a consistent-hash ring over the member
+// list routes every request to the node owning its artifact key:
+// owned work runs locally, everything else is proxied to the owner,
+// and a proxy failure falls back to local compute so a degraded
+// cluster still answers — byte-identically, because every node runs
+// the same deterministic pipeline. See shard.go.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"slices"
 	"strings"
@@ -25,31 +35,46 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/engine/codec"
 	"repro/internal/expt"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
 // maxBodyBytes bounds request bodies; every request here is a small
-// JSON document.
+// JSON document (the largest legitimate body is a 4096-spec batch,
+// well under 1 MB).
 const maxBodyBytes = 1 << 20
 
 // Server shares one engine across all requests.
 type Server struct {
 	eng      *engine.Engine
+	cluster  *shard.Cluster
+	codec    engine.Codec
 	requests atomic.Uint64
 }
 
-// New builds a Server over the given engine (nil selects a
+// New builds a standalone Server over the given engine (nil selects a
 // GOMAXPROCS-sized engine with the default cache).
-func New(eng *engine.Engine) *Server {
+func New(eng *engine.Engine) *Server { return NewCluster(eng, nil) }
+
+// NewCluster builds a Server participating in a shard cluster (nil cl
+// degenerates to a standalone server). The engine should be built with
+// engine.Options.Remote wired to shard.NewFetcher over the same
+// cluster, so store misses pull artifact images from their owners.
+func NewCluster(eng *engine.Engine, cl *shard.Cluster) *Server {
 	if eng == nil {
 		eng = engine.New(engine.Options{})
 	}
-	return &Server{eng: eng}
+	return &Server{eng: eng, cluster: cl, codec: codec.New()}
 }
 
 // Engine returns the server's engine (for tests and embedding).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Cluster returns the server's shard cluster view (nil when
+// standalone).
+func (s *Server) Cluster() *shard.Cluster { return s.cluster }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -59,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
+	mux.HandleFunc("GET /v1/artifacts", s.handleArtifact)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
@@ -83,9 +109,19 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+// readBody consumes the bounded request body: handlers keep the raw
+// bytes so peer-mode routing can forward the request verbatim.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	return data, nil
+}
+
+func decodeBody(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
@@ -111,6 +147,16 @@ func validBench(name string) error {
 	return fmt.Errorf("unknown benchmark %q (have %v)", name, workload.Benchmarks)
 }
 
+// checkBench validates the benchmark/size pair without building
+// anything — handlers need the size class for routing before they
+// commit to local work.
+func checkBench(name, size string) (workload.SizeClass, error) {
+	if err := validBench(name); err != nil {
+		return 0, err
+	}
+	return parseSize(size)
+}
+
 func parsePredictor(s string) (cluster.PredictorKind, error) {
 	switch s {
 	case "", "perfect":
@@ -127,14 +173,7 @@ func parsePredictor(s string) (cluster.PredictorKind, error) {
 
 // bench resolves one benchmark's artefact chain through the engine: a
 // warm request touches only the cache.
-func (s *Server) bench(name, size string) (*expt.Suite, *expt.Bench, error) {
-	if err := validBench(name); err != nil {
-		return nil, nil, err
-	}
-	sz, err := parseSize(size)
-	if err != nil {
-		return nil, nil, err
-	}
+func (s *Server) bench(name string, sz workload.SizeClass) (*expt.Suite, *expt.Bench, error) {
 	suite, err := expt.NewSuiteEngine(s.eng, sz, []string{name})
 	if err != nil {
 		return nil, nil, err
@@ -157,12 +196,25 @@ type analyzeResponse struct {
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req analyzeRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	body, err := readBody(w, r)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	suite, b, err := s.bench(req.Bench, req.Size)
+	var req analyzeRequest
+	if err := decodeBody(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sz, err := checkBench(req.Bench, req.Size)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.routeToOwner(w, r, expt.BenchKey(req.Bench, sz), body) {
+		return
+	}
+	suite, b, err := s.bench(req.Bench, sz)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -216,8 +268,13 @@ func validPolicy(policy string, withPairs bool) error {
 }
 
 func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req pairsRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeBody(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -228,7 +285,18 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	suite, b, err := s.bench(req.Bench, req.Size)
+	sz, err := checkBench(req.Bench, req.Size)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Route by the spawn table's own artifact key: the policy is
+	// validated, so TableKey cannot fail (and "none" is excluded).
+	if key, err := expt.TableKey(req.Bench, sz, req.Policy); err == nil &&
+		s.routeToOwner(w, r, key, body) {
+		return
+	}
+	suite, b, err := s.bench(req.Bench, sz)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -277,8 +345,13 @@ type simulateResponse struct {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req simulateRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := decodeBody(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -302,12 +375,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	suite, b, err := s.bench(req.Bench, req.Size)
+	sz, err := checkBench(req.Bench, req.Size)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := suite.Sim(b, expt.SimSpec{
+	sp := expt.SimSpec{
+		Bench:     req.Bench,
 		Policy:    req.Policy,
 		TUs:       req.TUs,
 		Predictor: pred,
@@ -316,7 +390,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Occur:     req.Occurrences,
 		Reassign:  req.Reassign,
 		MinSize:   req.MinSize,
-	})
+	}
+	if s.routeToOwner(w, r, expt.SimKey(sz, sp), body) {
+		return
+	}
+	suite, b, err := s.bench(req.Bench, sz)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := suite.Sim(b, sp)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -358,6 +441,17 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Figures have no single engine artifact; any stable key works as
+	// a routing key, and colocating one figure's whole sweep maximises
+	// its internal cache sharing — so the key is canonical over the
+	// bench SET (sorted, deduped), not the client's list order.
+	canon := slices.Clone(names)
+	slices.Sort(canon)
+	canon = slices.Compact(canon)
+	figKey := "fig/" + id + "/" + sz.String() + "/" + strings.Join(canon, ",")
+	if s.routeToOwner(w, r, figKey, nil) {
+		return
+	}
 	suite, err := expt.NewSuiteEngine(s.eng, sz, names)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -379,14 +473,73 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleArtifact serves the encoded image of a locally-resident
+// artifact — the shard-exchange endpoint peers pull through instead of
+// recomputing. Strictly local (Engine.Peek): a miss here must be a
+// clean 404 so the asking shard computes, never a chained fetch.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing key parameter"))
+		return
+	}
+	// Serve order: encode a memory-resident object; else relay the
+	// already-encoded disk image verbatim (no decode, no memory-tier
+	// pollution — traces are tens of MB); else the pending-write queue
+	// via the full Peek.
+	var kind string
+	var data []byte
+	v, ok := s.eng.PeekMemory(key)
+	if !ok {
+		if kind, data, ok = s.eng.PeekImage(key); !ok {
+			v, ok = s.eng.Peek(key)
+		}
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("artifact %q is not resident", key))
+		return
+	}
+	if data == nil {
+		var err error
+		kind, data, ok, err = s.codec.Encode(v)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("artifact %q has no wire form", key))
+			return
+		}
+	}
+	if s.cluster != nil {
+		s.cluster.NoteArtifactServed()
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(shard.ArtifactKindHeader, kind)
+	w.Write(data) //nolint:errcheck // client went away
+}
+
 type statsResponse struct {
 	Engine   engine.Stats `json:"engine"`
 	Requests uint64       `json:"requests"`
+	// Shard is this node's shard view (peer mode only); Cluster is the
+	// fanned-out per-member + aggregate view (omitted for
+	// ?scope=local, which is what members serve each other).
+	Shard   *shard.Stats  `json:"shard,omitempty"`
+	Cluster *clusterStats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Engine:   s.eng.Stats(),
 		Requests: s.requests.Load(),
-	})
+	}
+	if s.cluster != nil {
+		st := s.cluster.Stats()
+		resp.Shard = &st
+		if r.URL.Query().Get("scope") != "local" {
+			resp.Cluster = s.clusterView(r, resp)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

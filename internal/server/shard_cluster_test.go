@@ -1,0 +1,365 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/engine/codec"
+	"repro/internal/expt"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// switchHandler lets us allocate httptest listeners (and learn their
+// URLs) before the servers that need those URLs exist.
+type switchHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *switchHandler) set(h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h = h
+}
+
+func (s *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// clusterNode is one in-process shard: its own engine, its own temp
+// store directory, its own HTTP listener.
+type clusterNode struct {
+	srv *Server
+	ts  *httptest.Server
+	url string
+}
+
+// startTestCluster spins n in-process shard servers, each over one
+// temp store dir, all agreeing on the member list.
+func startTestCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	urls := make([]string, n)
+	switches := make([]*switchHandler, n)
+	for i := range nodes {
+		switches[i] = &switchHandler{}
+		ts := httptest.NewServer(switches[i])
+		t.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{ts: ts, url: ts.URL}
+		urls[i] = ts.URL
+	}
+	for i := range nodes {
+		cl, err := shard.New(urls[i], urls, shard.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := engine.OpenDiskTier(t.TempDir(), 0, codec.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engine.New(engine.Options{
+			Workers: 2,
+			Disk:    disk,
+			Remote:  shard.NewFetcher(cl, codec.New()),
+		})
+		t.Cleanup(eng.Close)
+		nodes[i].srv = NewCluster(eng, cl)
+		switches[i].set(nodes[i].srv.Handler())
+	}
+	return nodes
+}
+
+// clusterRequest is one deterministic API call of the parity suite.
+type clusterRequest struct {
+	name, method, path, body string
+}
+
+// parityRequests covers every deterministic endpoint, including an
+// NDJSON batch whose sweep spans benchmarks and a batch with explicit
+// specs (different policies land on different owners).
+func parityRequests() []clusterRequest {
+	return []clusterRequest{
+		{"analyze", "POST", "/v1/analyze", `{"bench":"compress","size":"test"}`},
+		{"pairs", "POST", "/v1/pairs", `{"bench":"ijpeg","size":"test","policy":"profile"}`},
+		{"simulate-profile", "POST", "/v1/simulate", `{"bench":"compress","size":"test","policy":"profile","tus":16}`},
+		{"simulate-heur", "POST", "/v1/simulate", `{"bench":"ijpeg","size":"test","policy":"heuristics","tus":4,"predictor":"stride"}`},
+		{"batch-sweep", "POST", "/v1/batch", `{"size":"test","sweep":{"benches":["compress","ijpeg"],"tus":[1,4]}}`},
+		{"batch-specs", "POST", "/v1/batch", `{"size":"test","specs":[{"bench":"ijpeg","policy":"none","tus":1},{"bench":"compress","tus":8},{"bench":"compress","tus":8}]}`},
+		{"figure", "GET", "/v1/figures/fig2?size=test&bench=compress,ijpeg", ""},
+	}
+}
+
+// doRequest returns (status, body) for one clusterRequest against a
+// base URL.
+func doRequest(t *testing.T, base string, req clusterRequest) (int, []byte) {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	if req.method == "POST" {
+		resp, err = http.Post(base+req.path, "application/json", strings.NewReader(req.body))
+	} else {
+		resp, err = http.Get(base + req.path)
+	}
+	if err != nil {
+		t.Fatalf("%s %s: %v", req.method, req.path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s %s: read body: %v", req.method, req.path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// referenceResponses runs the parity suite against a fresh standalone
+// single-node server — the byte-level ground truth.
+func referenceResponses(t *testing.T) map[string][]byte {
+	t.Helper()
+	srv := New(engine.New(engine.Options{Workers: 2}))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	ref := make(map[string][]byte)
+	for _, req := range parityRequests() {
+		status, body := doRequest(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("reference %s: status %d: %s", req.name, status, body)
+		}
+		ref[req.name] = body
+	}
+	return ref
+}
+
+// TestClusterByteParity is the acceptance test: an N-shard in-process
+// cluster answers every /v1/* request byte-identical to a single-node
+// server — for N ∈ {1, 2, 4} and through ANY entry node, including the
+// merged NDJSON batch stream.
+func TestClusterByteParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node parity suite is slow")
+	}
+	ref := referenceResponses(t)
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			nodes := startTestCluster(t, n)
+			for entry, node := range nodes {
+				for _, req := range parityRequests() {
+					status, body := doRequest(t, node.url, req)
+					if status != http.StatusOK {
+						t.Fatalf("entry %d, %s: status %d: %s", entry, req.name, status, body)
+					}
+					if !bytes.Equal(body, ref[req.name]) {
+						t.Errorf("entry %d, %s: response differs from single-node run\n got: %.300s\nwant: %.300s",
+							entry, req.name, body, ref[req.name])
+					}
+				}
+			}
+			if n < 2 {
+				return
+			}
+			// With >= 2 members and every node used as an entry point,
+			// some requests must have crossed the ring.
+			var proxied, fanouts uint64
+			for _, node := range nodes {
+				st := node.srv.Cluster().Stats()
+				proxied += st.Proxied
+				fanouts += st.BatchFanouts
+			}
+			if proxied == 0 {
+				t.Error("no request was proxied to its owner in a multi-node cluster")
+			}
+			if fanouts == 0 {
+				t.Error("no batch sub-request was fanned out in a multi-node cluster")
+			}
+		})
+	}
+}
+
+// TestClusterStatsViews checks the /v1/stats shard and cluster
+// sections: every member visible, aggregate counters summing, and the
+// local scope staying recursion-free.
+func TestClusterStatsViews(t *testing.T) {
+	nodes := startTestCluster(t, 3)
+	// Generate a little cross-shard traffic first.
+	doRequest(t, nodes[0].url, clusterRequest{"sim", "POST", "/v1/simulate",
+		`{"bench":"compress","size":"test","tus":4}`})
+
+	var st statsResponse
+	if resp := getJSON(t, nodes[0].url+"/v1/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	if st.Shard == nil {
+		t.Fatal("peer-mode stats must include a shard section")
+	}
+	if st.Shard.Self != nodes[0].url || len(st.Shard.Members) != 3 {
+		t.Errorf("shard view: self=%q members=%v", st.Shard.Self, st.Shard.Members)
+	}
+	if st.Cluster == nil {
+		t.Fatal("default scope must include the cluster view")
+	}
+	if st.Cluster.Aggregate.Members != 3 || st.Cluster.Aggregate.Reachable != 3 {
+		t.Errorf("aggregate members/reachable = %d/%d, want 3/3",
+			st.Cluster.Aggregate.Members, st.Cluster.Aggregate.Reachable)
+	}
+	if len(st.Cluster.Nodes) != 3 {
+		t.Errorf("cluster view has %d nodes, want 3", len(st.Cluster.Nodes))
+	}
+	var sumReq uint64
+	for url, ns := range st.Cluster.Nodes {
+		if !ns.Reachable {
+			t.Errorf("node %s unreachable: %s", url, ns.Error)
+		}
+		sumReq += ns.Requests
+	}
+	if st.Cluster.Aggregate.Requests != sumReq {
+		t.Errorf("aggregate requests = %d, want sum %d", st.Cluster.Aggregate.Requests, sumReq)
+	}
+
+	var local statsResponse
+	if resp := getJSON(t, nodes[1].url+"/v1/stats?scope=local", &local); resp.StatusCode != http.StatusOK {
+		t.Fatalf("local stats status = %d", resp.StatusCode)
+	}
+	if local.Cluster != nil {
+		t.Error("scope=local must omit the cluster fan-out")
+	}
+	if local.Shard == nil {
+		t.Error("scope=local must keep the node's shard view")
+	}
+}
+
+// TestArtifactExchangeEndpoint drives the shard-exchange endpoint
+// directly: computed artifacts are served as decodable images, misses
+// and bad requests are clean errors.
+func TestArtifactExchangeEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/simulate", `{"bench":"compress","size":"test","tus":4}`)
+
+	// The bench chain is resident now; its emu artifact must serve.
+	resp, err := http.Get(ts.URL + "/v1/artifacts?key=" + "emu%2Fcompress%2Ftest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact status = %d", resp.StatusCode)
+	}
+	kind := resp.Header.Get(shard.ArtifactKindHeader)
+	img, _ := io.ReadAll(resp.Body)
+	if kind == "" || len(img) == 0 {
+		t.Fatalf("artifact response: kind=%q, %d bytes", kind, len(img))
+	}
+	if _, err := codec.New().Decode(kind, img); err != nil {
+		t.Fatalf("served artifact image does not decode: %v", err)
+	}
+	if _, ok := srv.Engine().Peek("emu/compress/test"); !ok {
+		t.Error("Peek must see the artifact the endpoint served")
+	}
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/artifacts?key=emu%2Fnonesuch%2Ftest", http.StatusNotFound},
+		{"/v1/artifacts", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestPeekImageServesDiskImage pins the exchange endpoint's cheap
+// path: a disk-resident artifact is served as its stored image —
+// CRC-verified, not decoded — and that image decodes on the receiving
+// side.
+func TestPeekImageServesDiskImage(t *testing.T) {
+	nodes := startTestCluster(t, 1)
+	status, body := doRequest(t, nodes[0].url, clusterRequest{"sim", "POST", "/v1/simulate",
+		`{"bench":"compress","size":"test","tus":4}`})
+	if status != http.StatusOK {
+		t.Fatalf("warm-up status %d: %s", status, body)
+	}
+	eng := nodes[0].srv.Engine()
+	eng.Disk().Flush() // drain async writes so the image is on disk
+
+	kind, data, ok := eng.PeekImage("emu/compress/test")
+	if !ok {
+		t.Fatal("PeekImage missed a flushed disk-resident artifact")
+	}
+	if _, err := codec.New().Decode(kind, data); err != nil {
+		t.Fatalf("disk image (%s, %d bytes) does not decode: %v", kind, len(data), err)
+	}
+	if _, _, ok := eng.PeekImage("emu/nonesuch/test"); ok {
+		t.Error("PeekImage must miss absent keys")
+	}
+}
+
+// TestRemoteArtifactTransfer proves shards exchange artifacts instead
+// of recomputing. Construction: /v1/pairs routes to the spawn table's
+// owner, which computes and keeps the table; a /v1/simulate needing
+// that table but owned by the OTHER node must then pull the table
+// image from its owner rather than re-running core.Select.
+func TestRemoteArtifactTransfer(t *testing.T) {
+	nodes := startTestCluster(t, 2)
+	cl := nodes[0].srv.Cluster()
+
+	// Find a benchmark whose table key and sim key land on different
+	// members (with 8 benchmarks and 2 nodes this exists essentially
+	// always; the loop keeps the test honest about the precondition).
+	var bench string
+	var simSpec expt.SimSpec
+	for _, name := range workload.Benchmarks {
+		tabKey, err := expt.TableKey(name, workload.SizeTest, "profile")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := expt.SimSpec{Bench: name, Policy: "profile", TUs: 16}
+		if cl.Owner(tabKey) != cl.Owner(expt.SimKey(workload.SizeTest, sp)) {
+			bench, simSpec = name, sp
+			break
+		}
+	}
+	if bench == "" {
+		t.Skip("every benchmark's table and sim keys hash to one owner")
+	}
+
+	status, body := doRequest(t, nodes[0].url, clusterRequest{"pairs", "POST", "/v1/pairs",
+		fmt.Sprintf(`{"bench":%q,"size":"test","policy":"profile"}`, bench)})
+	if status != http.StatusOK {
+		t.Fatalf("pairs status %d: %s", status, body)
+	}
+	status, body = doRequest(t, nodes[0].url, clusterRequest{"sim", "POST", "/v1/simulate",
+		fmt.Sprintf(`{"bench":%q,"size":"test","policy":"profile","tus":%d}`, bench, simSpec.TUs)})
+	if status != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", status, body)
+	}
+
+	var fetched, served uint64
+	for _, node := range nodes {
+		st := node.srv.Cluster().Stats()
+		fetched += st.RemoteFetches
+		served += st.ArtifactsServed
+	}
+	if fetched == 0 || served == 0 {
+		t.Errorf("table artifact did not cross the wire: fetched=%d served=%d", fetched, served)
+	}
+}

@@ -1,0 +1,279 @@
+// Cluster state and the HTTP peer client: forwarding whole requests to
+// a key's owner and fetching individual artifact images between
+// shards. All counters are atomic; one Cluster is shared by the server
+// handlers and the engine's remote-fetch hook.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ForwardedHeader marks intra-cluster requests (value: the sender's
+// node URL). A forwarded request is never re-routed: the receiver
+// computes it locally, which both implements "owned work runs locally"
+// and makes routing loops impossible even when two nodes briefly
+// disagree about membership.
+const ForwardedHeader = "X-Spmt-Forwarded"
+
+// ArtifactKindHeader carries the codec kind tag of an artifact image
+// served by GET /v1/artifacts.
+const ArtifactKindHeader = "X-Spmt-Artifact-Kind"
+
+// maxArtifactBytes bounds one fetched artifact image (traces dominate;
+// a full-size trace is tens of MB). Guards the fetcher against a
+// misbehaving peer, not against legitimate artifacts.
+const maxArtifactBytes = 1 << 31
+
+// Options configures a Cluster.
+type Options struct {
+	// VNodes is the virtual-node count per member (<= 0 selects
+	// DefaultVNodes).
+	VNodes int
+	// FetchTimeout bounds one artifact-image fetch (default 30s).
+	FetchTimeout time.Duration
+	// ProxyHeaderTimeout bounds how long a forwarded request waits for
+	// the owner's response HEADERS (default 5m) — the guard against an
+	// owner that is wedged but still accepting connections. Forwarded
+	// requests carry no overall timeout (batch sub-streams and
+	// full-size figure sweeps are legitimately slow, and the caller's
+	// request context already cancels an abandoned proxy); a request
+	// whose owner computes longer than this before its first byte
+	// simply falls back to local compute — correct, just duplicated
+	// work.
+	ProxyHeaderTimeout time.Duration
+}
+
+// Stats is a point-in-time snapshot of one node's shard activity,
+// exposed under "shard" in /v1/stats.
+type Stats struct {
+	Self    string   `json:"self"`
+	Members []string `json:"members"`
+	VNodes  int      `json:"vnodes"`
+	// Proxied counts requests forwarded to their owning shard;
+	// ProxyFallbacks counts forwards that failed and were answered by
+	// local compute instead (degraded-cluster path).
+	Proxied        uint64 `json:"proxied"`
+	ProxyFallbacks uint64 `json:"proxy_fallbacks"`
+	// BatchFanouts counts sub-batches sent to owning shards;
+	// BatchFallbackSpecs counts batch specs recomputed locally after a
+	// sub-batch failed or its stream came back incomplete.
+	BatchFanouts       uint64 `json:"batch_fanouts"`
+	BatchFallbackSpecs uint64 `json:"batch_fallback_specs"`
+	// RemoteFetches counts artifact images fetched from owning shards
+	// on store miss; FetchMisses counts fetch attempts the owner could
+	// not serve (it had not computed the artifact either);
+	// FetchErrors counts transport/decode failures.
+	RemoteFetches uint64 `json:"remote_fetches"`
+	FetchMisses   uint64 `json:"fetch_misses"`
+	FetchErrors   uint64 `json:"fetch_errors"`
+	// ArtifactsServed counts artifact images this node served to
+	// peers.
+	ArtifactsServed uint64 `json:"artifacts_served"`
+}
+
+// Cluster is one node's view of the shard cluster: the (fixed) member
+// ring, this node's own URL, and the peer HTTP client. Safe for
+// concurrent use.
+type Cluster struct {
+	self  string
+	ring  *Ring
+	proxy *http.Client
+	fetch *http.Client
+
+	proxied            atomic.Uint64
+	proxyFallbacks     atomic.Uint64
+	batchFanouts       atomic.Uint64
+	batchFallbackSpecs atomic.Uint64
+	remoteFetches      atomic.Uint64
+	fetchMisses        atomic.Uint64
+	fetchErrors        atomic.Uint64
+	artifactsServed    atomic.Uint64
+}
+
+// normalizeNode validates and canonicalises one member URL.
+func normalizeNode(raw string) (string, error) {
+	s := strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("shard: bad node URL %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("shard: node URL %q must be http(s)://host[:port]", raw)
+	}
+	return s, nil
+}
+
+// New builds one node's cluster view. self must appear in members
+// (URLs are compared after trimming trailing slashes); every node of
+// the cluster must be configured with the same member list, or their
+// ownership maps disagree and requests bounce through the forwarded
+// fallback instead of being served by their owner.
+func New(self string, members []string, opts Options) (*Cluster, error) {
+	selfN, err := normalizeNode(self)
+	if err != nil {
+		return nil, err
+	}
+	norm := make([]string, 0, len(members))
+	found := false
+	for _, m := range members {
+		n, err := normalizeNode(m)
+		if err != nil {
+			return nil, err
+		}
+		norm = append(norm, n)
+		found = found || n == selfN
+	}
+	if !found {
+		return nil, fmt.Errorf("shard: self %q is not in the member list %v", selfN, norm)
+	}
+	if opts.FetchTimeout <= 0 {
+		opts.FetchTimeout = 30 * time.Second
+	}
+	if opts.ProxyHeaderTimeout <= 0 {
+		opts.ProxyHeaderTimeout = 5 * time.Minute
+	}
+	// Forwards carry no overall timeout (the owner may legitimately
+	// compute for minutes), but the connect and header phases must be
+	// bounded: a partitioned owner that drops packets, or one that is
+	// wedged while its socket keeps accepting, would otherwise stall a
+	// routed request indefinitely instead of triggering the
+	// local-compute fallback.
+	dial := (&net.Dialer{Timeout: 5 * time.Second}).DialContext
+	return &Cluster{
+		self: selfN,
+		ring: NewRing(norm, opts.VNodes),
+		proxy: &http.Client{Transport: &http.Transport{
+			DialContext:           dial,
+			ResponseHeaderTimeout: opts.ProxyHeaderTimeout,
+		}},
+		fetch: &http.Client{Transport: &http.Transport{DialContext: dial}, Timeout: opts.FetchTimeout},
+	}, nil
+}
+
+// Self returns this node's URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Members returns the member URLs, sorted.
+func (c *Cluster) Members() []string { return c.ring.Nodes() }
+
+// Ring returns the ownership ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner returns the node owning the artifact key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Owns reports whether this node owns the artifact key.
+func (c *Cluster) Owns(key string) bool { return c.ring.Owner(key) == c.self }
+
+// Stats snapshots the shard counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Self:               c.self,
+		Members:            c.ring.Nodes(),
+		VNodes:             c.ring.VNodes(),
+		Proxied:            c.proxied.Load(),
+		ProxyFallbacks:     c.proxyFallbacks.Load(),
+		BatchFanouts:       c.batchFanouts.Load(),
+		BatchFallbackSpecs: c.batchFallbackSpecs.Load(),
+		RemoteFetches:      c.remoteFetches.Load(),
+		FetchMisses:        c.fetchMisses.Load(),
+		FetchErrors:        c.fetchErrors.Load(),
+		ArtifactsServed:    c.artifactsServed.Load(),
+	}
+}
+
+// NoteProxyFallback records a failed forward answered locally.
+func (c *Cluster) NoteProxyFallback() { c.proxyFallbacks.Add(1) }
+
+// NoteBatchFanout records one sub-batch sent to an owning shard.
+func (c *Cluster) NoteBatchFanout() { c.batchFanouts.Add(1) }
+
+// NoteBatchFallback records n batch specs recomputed locally.
+func (c *Cluster) NoteBatchFallback(n int) { c.batchFallbackSpecs.Add(uint64(n)) }
+
+// NoteArtifactServed records one artifact image served to a peer.
+func (c *Cluster) NoteArtifactServed() { c.artifactsServed.Add(1) }
+
+// Forward sends the (already-read) request body to node's
+// path-and-query, marked with ForwardedHeader so the receiver computes
+// locally. The caller owns the returned response and must close its
+// body; a nil response with an error means the node was unreachable
+// and the caller should fall back to local compute.
+func (c *Cluster) Forward(ctx context.Context, node, method, pathQuery string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, node+pathQuery, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.proxy.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	c.proxied.Add(1)
+	return resp, nil
+}
+
+// GetJSON fetches node's path and decodes the JSON response into v
+// (used by the cluster-aggregate stats view).
+func (c *Cluster) GetJSON(ctx context.Context, node, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.fetch.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: %s%s: status %d", node, path, resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, maxArtifactBytes)).Decode(v)
+}
+
+// FetchArtifact asks node for the encoded image of the artifact under
+// key. ok=false with a nil error means the node answered but does not
+// hold the artifact (or its type is memory-only).
+func (c *Cluster) FetchArtifact(ctx context.Context, node, key string) (kind string, data []byte, ok bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		node+"/v1/artifacts?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return "", nil, false, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.fetch.Do(req)
+	if err != nil {
+		return "", nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return "", nil, false, nil
+	default:
+		return "", nil, false, fmt.Errorf("shard: fetch %q from %s: status %d", key, node, resp.StatusCode)
+	}
+	kind = resp.Header.Get(ArtifactKindHeader)
+	if kind == "" {
+		return "", nil, false, fmt.Errorf("shard: fetch %q from %s: missing %s header", key, node, ArtifactKindHeader)
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes))
+	if err != nil {
+		return "", nil, false, err
+	}
+	return kind, data, true, nil
+}

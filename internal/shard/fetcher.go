@@ -1,0 +1,75 @@
+// Fetcher plugs the artifact exchange into the engine: wired to
+// engine.Options.Remote, it is consulted on every store miss and
+// transfers the owning shard's disk-tier artifact image instead of
+// recomputing it locally. Keys this node owns are never fetched (the
+// owner is the node expected to compute them), and only kinds the
+// codec can carry over the wire are attempted, so composite memory-only
+// artifacts cost no round trip.
+package shard
+
+import (
+	"context"
+	"log"
+
+	"repro/internal/engine"
+)
+
+// fetchableKinds lists the job-key prefixes (engine.JobKind) whose
+// artifacts have a binary codec and are therefore worth a network
+// round trip. "bench" composites are memory-only and reassembled
+// cheaply from these stages, so they are deliberately absent.
+var fetchableKinds = map[string]bool{
+	"program": true,
+	"emu":     true,
+	"cfg":     true,
+	"reach":   true,
+	"table":   true,
+	"heur":    true,
+	"sim":     true,
+}
+
+// Fetcher implements engine.RemoteFetcher over a Cluster.
+type Fetcher struct {
+	cluster *Cluster
+	codec   engine.Codec
+}
+
+// NewFetcher builds the engine remote-fetch hook for one node. The
+// codec must match the one the peers' artifact endpoints encode with
+// (in practice: internal/engine/codec.New on every node).
+func NewFetcher(cluster *Cluster, codec engine.Codec) *Fetcher {
+	return &Fetcher{cluster: cluster, codec: codec}
+}
+
+// Fetch asks the key's owning shard for the artifact image and decodes
+// it. Any failure — unreachable owner, owner miss, corrupt image — is
+// reported as a miss so the engine simply computes the artifact
+// locally; a degraded cluster loses transfer efficiency, never
+// answers.
+func (f *Fetcher) Fetch(key string) (any, bool) {
+	if !fetchableKinds[engine.JobKind(key)] {
+		return nil, false
+	}
+	owner := f.cluster.Owner(key)
+	if owner == "" || owner == f.cluster.Self() {
+		return nil, false
+	}
+	kind, data, ok, err := f.cluster.FetchArtifact(context.Background(), owner, key)
+	if err != nil {
+		f.cluster.fetchErrors.Add(1)
+		log.Printf("shard: fetch %q from %s: %v (computing locally)", key, owner, err)
+		return nil, false
+	}
+	if !ok {
+		f.cluster.fetchMisses.Add(1)
+		return nil, false
+	}
+	v, err := f.codec.Decode(kind, data)
+	if err != nil {
+		f.cluster.fetchErrors.Add(1)
+		log.Printf("shard: decode fetched %q (%s) from %s: %v (computing locally)", key, kind, owner, err)
+		return nil, false
+	}
+	f.cluster.remoteFetches.Add(1)
+	return v, true
+}

@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/codec"
+	"repro/internal/linalg"
+)
+
+// TestFetcherWireContract runs the fetch path against a fake peer
+// artifact endpoint: hit, miss, corrupt image, non-fetchable kind, and
+// dead owner are all exercised from the client side (the server side
+// lives in internal/server's cluster tests).
+func TestFetcherWireContract(t *testing.T) {
+	cod := codec.New()
+	want := &linalg.Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2.5, -3, 4}}
+	kind, img, ok, err := cod.Encode(want)
+	if err != nil || !ok {
+		t.Fatalf("encode fixture: ok=%v err=%v", ok, err)
+	}
+
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/artifacts" {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Header.Get(ForwardedHeader) == "" {
+			t.Errorf("artifact fetch must carry %s", ForwardedHeader)
+		}
+		key := r.URL.Query().Get("key")
+		switch {
+		case strings.HasPrefix(key, "reach/warm/"):
+			w.Header().Set(ArtifactKindHeader, kind)
+			w.Write(img)
+		case strings.HasPrefix(key, "reach/corrupt/"):
+			w.Header().Set(ArtifactKindHeader, kind)
+			w.Write(img[:len(img)/2])
+		default:
+			http.Error(w, `{"error":"no such artifact"}`, http.StatusNotFound)
+		}
+	}))
+	defer peer.Close()
+
+	self := httptest.NewServer(http.NotFoundHandler())
+	defer self.Close()
+	cl, err := New(self.URL, []string{self.URL, peer.URL}, Options{VNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFetcher(cl, cod)
+
+	// Ownership is a hash; synthesise a key under the given stem that
+	// the peer owns so every case below actually crosses the wire.
+	peerKey := func(stem string) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("%s%d", stem, i)
+			if cl.Owner(k) == peer.URL {
+				return k
+			}
+		}
+	}
+	selfKey := func(stem string) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("%s%d", stem, i)
+			if cl.Owner(k) == cl.Self() {
+				return k
+			}
+		}
+	}
+
+	if v, ok := f.Fetch(peerKey("reach/warm/")); !ok {
+		t.Error("fetch of a warm peer artifact must hit")
+	} else if got, isMat := v.(*linalg.Matrix); !isMat || got.Rows != 2 || got.Data[1] != 2.5 {
+		t.Errorf("fetched artifact = %#v, want decoded matrix", v)
+	}
+	if _, ok := f.Fetch(peerKey("reach/cold/")); ok {
+		t.Error("owner miss must report a local miss")
+	}
+	if _, ok := f.Fetch(peerKey("reach/corrupt/")); ok {
+		t.Error("corrupt image must report a miss, not a decoded value")
+	}
+	if _, ok := f.Fetch(selfKey("reach/warm/")); ok {
+		t.Error("self-owned keys must never be fetched")
+	}
+	if _, ok := f.Fetch(peerKey("bench/composite/")); ok {
+		t.Error("non-fetchable kinds must not cross the wire")
+	}
+
+	st := cl.Stats()
+	if st.RemoteFetches != 1 || st.FetchMisses != 1 || st.FetchErrors != 1 {
+		t.Errorf("stats = fetches %d, misses %d, errors %d; want 1, 1, 1",
+			st.RemoteFetches, st.FetchMisses, st.FetchErrors)
+	}
+
+	// Unreachable owner: every key must degrade to a miss, not a wedge.
+	peer.Close()
+	if _, ok := f.Fetch(peerKey("reach/warm/")); ok {
+		t.Error("fetch from a dead peer must miss, enabling local compute")
+	}
+}

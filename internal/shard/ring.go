@@ -1,0 +1,122 @@
+// Package shard turns spmt-server into a horizontally scalable
+// cluster: a consistent-hash ring maps every engine artifact key to
+// one owning node, an HTTP peer client proxies requests and exchanges
+// disk-tier artifact images between shards, and a Fetcher plugs the
+// exchange into the engine's store-miss path so a shard that needs a
+// dependency another shard already computed transfers the artifact
+// instead of recomputing it.
+//
+// Ownership is a pure function of (member set, key): every node of a
+// cluster configured with the same member list computes the same owner
+// for every key, with no coordination traffic. Membership change moves
+// only the keys whose arc the joining/leaving node covers — about 1/N
+// of the keyspace — which is what makes the disk tier's content-keyed
+// artifact files a practical transfer unit during resharding.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"slices"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member when Options
+// leaves it zero. 128 points per node keeps the largest arc within a
+// few percent of the mean, so load and remap fractions track 1/N
+// closely.
+const DefaultVNodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (URLs, for the HTTP cluster). The zero Ring is not usable; build one
+// with NewRing. A Ring is safe for concurrent use.
+type Ring struct {
+	vnodes int
+	nodes  []string
+	points []point
+}
+
+// hashKey positions an artifact key (or virtual node label) on the
+// ring. sha256 rather than a cheap multiplicative hash: ring balance
+// is a direct function of hash uniformity, and the cost is noise next
+// to the work being routed.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given nodes with vnodes virtual nodes
+// each (vnodes <= 0 selects DefaultVNodes). Duplicate node names are
+// collapsed; the ring is identical for any input order. An empty node
+// list yields a ring whose Owner returns "".
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := slices.Clone(nodes)
+	sort.Strings(uniq)
+	uniq = slices.Compact(uniq)
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  uniq,
+		points: make([]point, 0, len(uniq)*vnodes),
+	}
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hashKey(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	// Ties broken by node name so two members with a colliding virtual
+	// hash still agree on ownership everywhere.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the member names, sorted.
+func (r *Ring) Nodes() []string { return slices.Clone(r.nodes) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the node owning key: the first virtual node at or
+// after the key's hash, wrapping at the top of the ring. An empty ring
+// owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Without returns a ring over the members minus the given node — the
+// ownership map a cluster converges to when that node leaves. Keys the
+// departed node did not own keep their owner; only its arc remaps.
+func (r *Ring) Without(node string) *Ring {
+	rest := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			rest = append(rest, n)
+		}
+	}
+	return NewRing(rest, r.vnodes)
+}

@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range keys {
+		// Shaped like real artifact keys.
+		keys[i] = fmt.Sprintf("sim/test/%x/bench%d/profile/tu%d", rng.Uint64(), i%8, 1<<(i%5))
+	}
+	return keys
+}
+
+func nodeList(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://127.0.0.1:%d", 8080+i)
+	}
+	return nodes
+}
+
+// TestRingOrderIndependent: every node of a cluster builds the ring
+// from its own flag parse; ownership must not depend on list order or
+// duplicates.
+func TestRingOrderIndependent(t *testing.T) {
+	nodes := nodeList(5)
+	a := NewRing(nodes, 64)
+	shuffled := append([]string{nodes[3], nodes[3]}, nodes[4], nodes[0], nodes[2], nodes[1], nodes[3])
+	b := NewRing(shuffled, 64)
+	if a.Len() != 5 || b.Len() != 5 {
+		t.Fatalf("Len = %d, %d, want 5 (duplicates must collapse)", a.Len(), b.Len())
+	}
+	for _, k := range testKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("ring disagrees on %q: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count every member
+// owns close to 1/N of a large key population.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		ring := NewRing(nodeList(n), 0)
+		keys := testKeys(20000)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes own keys", n, len(counts))
+		}
+		share := float64(len(keys)) / float64(n)
+		for node, c := range counts {
+			if f := float64(c) / share; f < 0.5 || f > 1.7 {
+				t.Errorf("n=%d: %s owns %.2fx its fair share (%d keys)", n, node, f, c)
+			}
+		}
+	}
+}
+
+// TestRingRemapProperty is the consistent-hashing contract: removing
+// one member moves only the keys that member owned (~1/N of the
+// keyspace); every other key keeps its owner exactly.
+func TestRingRemapProperty(t *testing.T) {
+	keys := testKeys(20000)
+	for _, n := range []int{2, 3, 4, 8} {
+		nodes := nodeList(n)
+		ring := NewRing(nodes, 0)
+		for _, gone := range []string{nodes[0], nodes[n-1]} {
+			after := ring.Without(gone)
+			if after.Len() != n-1 {
+				t.Fatalf("Without: Len = %d, want %d", after.Len(), n-1)
+			}
+			moved := 0
+			for _, k := range keys {
+				before := ring.Owner(k)
+				now := after.Owner(k)
+				if before == gone {
+					moved++
+					if now == gone {
+						t.Fatalf("n=%d: removed node still owns %q", n, k)
+					}
+					continue
+				}
+				if now != before {
+					t.Fatalf("n=%d: key %q not owned by removed %s moved %s -> %s",
+						n, k, gone, before, now)
+				}
+			}
+			frac := float64(moved) / float64(len(keys))
+			want := 1 / float64(n)
+			if frac < 0.5*want || frac > 1.7*want {
+				t.Errorf("n=%d: removing %s moved %.3f of keys, want ~%.3f", n, gone, frac, want)
+			}
+		}
+	}
+}
+
+// TestRingAdditionRemapProperty is the same contract for a join: a new
+// member takes ~1/(N+1) of the keyspace and nothing else moves.
+func TestRingAdditionRemapProperty(t *testing.T) {
+	keys := testKeys(20000)
+	nodes := nodeList(4)
+	before := NewRing(nodes[:3], 0)
+	after := NewRing(nodes, 0)
+	moved := 0
+	for _, k := range keys {
+		was, now := before.Owner(k), after.Owner(k)
+		if was == now {
+			continue
+		}
+		if now != nodes[3] {
+			t.Fatalf("key %q moved %s -> %s, but only the new member may take keys", k, was, now)
+		}
+		moved++
+	}
+	if frac := float64(moved) / float64(len(keys)); frac < 0.5/4 || frac > 1.7/4 {
+		t.Errorf("join moved %.3f of keys, want ~0.25", frac)
+	}
+}
+
+func TestEmptyAndSingleRing(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("sim/x"); owner != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", owner)
+	}
+	one := NewRing([]string{"http://a:1"}, 0)
+	for _, k := range testKeys(100) {
+		if one.Owner(k) != "http://a:1" {
+			t.Fatalf("single-node ring must own everything")
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New("http://a:1", []string{"http://b:2"}, Options{}); err == nil {
+		t.Error("self outside member list must error")
+	}
+	if _, err := New("ftp://a:1", []string{"ftp://a:1"}, Options{}); err == nil {
+		t.Error("non-http scheme must error")
+	}
+	if _, err := New("http://", []string{"http://"}, Options{}); err == nil {
+		t.Error("missing host must error")
+	}
+	// Trailing slashes normalise away.
+	c, err := New("http://a:1/", []string{"http://a:1", "http://b:2/"}, Options{VNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Self() != "http://a:1" || len(c.Members()) != 2 {
+		t.Errorf("normalised cluster: self=%q members=%v", c.Self(), c.Members())
+	}
+	if got := c.Stats(); got.VNodes != 8 || got.Self != "http://a:1" {
+		t.Errorf("stats = %+v", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/isa"
 	"repro/internal/reach"
+	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -151,6 +152,41 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 // previous run's artifacts into memory at boot.
 func OpenDiskTier(dir string, maxBytes int64) (*DiskTier, error) {
 	return engine.OpenDiskTier(dir, maxBytes, codec.New())
+}
+
+// Consistent-hash sharding (re-exported from internal/shard). A
+// cluster of spmt-server processes (or embedded engines) maps every
+// artifact key to one owning node; see the README's sharded-deployment
+// section for topology and failure semantics.
+type (
+	// ShardRing is an immutable consistent-hash ring mapping artifact
+	// keys to owning node names.
+	ShardRing = shard.Ring
+	// ShardCluster is one node's view of a shard cluster: the member
+	// ring, this node's URL, and the peer HTTP client.
+	ShardCluster = shard.Cluster
+	// ShardOptions configures a ShardCluster (virtual-node count,
+	// fetch timeout).
+	ShardOptions = shard.Options
+	// ShardStats snapshots one node's proxy/fan-out/artifact-exchange
+	// counters.
+	ShardStats = shard.Stats
+)
+
+// NewShardRing builds a consistent-hash ring over the given node names
+// with vnodes virtual nodes each (<= 0 selects the default, 128).
+func NewShardRing(nodes []string, vnodes int) *ShardRing { return shard.NewRing(nodes, vnodes) }
+
+// NewShardCluster builds one node's cluster view. self must appear in
+// members, and every member must be configured with the same list.
+func NewShardCluster(self string, members []string, opts ShardOptions) (*ShardCluster, error) {
+	return shard.New(self, members, opts)
+}
+
+// NewShardFetcher returns the EngineOptions.Remote hook that pulls
+// store misses from their owning shard's artifact endpoint.
+func NewShardFetcher(cl *ShardCluster) engine.RemoteFetcher {
+	return shard.NewFetcher(cl, codec.New())
 }
 
 // Generate builds a named benchmark program.

@@ -15,9 +15,16 @@
 // whose owner is down answers by local compute. Every member must be
 // started with the same -peers list.
 //
+// Observability: every /v1 request runs under a trace (X-Spmt-Trace,
+// queryable via GET /v1/traces/{id}, stitched across shards), and
+// -ops-addr opens a second listener serving /metrics (Prometheus text
+// exposition), /healthz, and /debug/pprof — kept off the client port
+// so profiling is never exposed to API consumers. Logs are structured
+// (log/slog) and carry the trace ID where one applies.
+//
 // Usage:
 //
-//	spmt-server [-addr :8080] [-parallel N] [-cache-entries N] [-cache-bytes 512MB]
+//	spmt-server [-addr :8080] [-ops-addr :9090] [-parallel N] [-cache-entries N] [-cache-bytes 512MB]
 //	            [-store-dir /var/lib/spmt] [-store-bytes 4GB]
 //	            [-self http://host0:8080 -peers http://host0:8080,http://host1:8080,… [-vnodes 128]]
 //
@@ -29,6 +36,8 @@
 //	POST /v1/batch        {"size":"test","sweep":{"benches":["ijpeg"],"tus":[1,2,4,8,16]}}
 //	GET  /v1/figures/fig3?size=test&bench=compress,ijpeg
 //	GET  /v1/stats
+//	GET  /v1/traces[/{id}]
+//	GET  /metrics
 package main
 
 import (
@@ -36,7 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +62,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	opsAddr := flag.String("ops-addr", "", "ops listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size")
 	cacheEntries := flag.Int("cache-entries", engine.DefaultCacheEntries, "artifact-cache capacity (entries)")
 	cacheBytes := flag.String("cache-bytes", "", "memory-tier resident-byte budget, e.g. 512MB (empty = unbounded)")
@@ -101,13 +111,13 @@ func main() {
 	if *storeDir != "" {
 		start := time.Now()
 		n := eng.WarmFromDisk()
-		log.Printf("spmt-server: warmed %d artifacts from %s in %v",
-			n, *storeDir, time.Since(start).Round(time.Millisecond))
+		slog.Info("warmed artifacts from disk",
+			"artifacts", n, "dir", *storeDir, "took", time.Since(start).Round(time.Millisecond))
 	}
 	srv := server.NewCluster(eng, cl)
 	if cl != nil {
-		log.Printf("spmt-server: peer mode: self=%s members=%v (vnodes=%d)",
-			cl.Self(), cl.Members(), cl.Ring().VNodes())
+		slog.Info("peer mode",
+			"self", cl.Self(), "members", cl.Members(), "vnodes", cl.Ring().VNodes())
 	}
 
 	hs := &http.Server{
@@ -117,28 +127,51 @@ func main() {
 		// Full-size figure sweeps are legitimately slow; no write
 		// timeout.
 	}
-	log.Printf("spmt-server: listening on %s (workers=%d, cache=%d entries, cache-bytes=%s, store=%s)",
-		*addr, eng.Workers(), *cacheEntries, orUnbounded(*cacheBytes), orMemoryOnly(*storeDir))
+	var ops *http.Server
+	if *opsAddr != "" {
+		ops = &http.Server{
+			Addr:              *opsAddr,
+			Handler:           srv.OpsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		slog.Info("ops listener", "addr", *opsAddr)
+		go func() {
+			if err := ops.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				slog.Error("ops listener failed", "addr", *opsAddr, "err", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	slog.Info("listening",
+		"addr", *addr, "workers", eng.Workers(), "cache_entries", *cacheEntries,
+		"cache_bytes", orUnbounded(*cacheBytes), "store", orMemoryOnly(*storeDir))
 
 	// Graceful shutdown: stop accepting requests, then drain the disk
 	// tier's async-write queue so every computed artifact is durable
-	// for the next boot's warm-up.
+	// for the next boot's warm-up. The ops listener stays up while the
+	// API drains (a last scrape sees the drain), then follows.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
 	case sig := <-stop:
-		log.Printf("spmt-server: %v: shutting down", sig)
+		slog.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
-			log.Printf("spmt-server: shutdown: %v", err)
+			slog.Warn("shutdown incomplete", "err", err)
 		}
 		eng.Close()
+		if ops != nil {
+			if err := ops.Shutdown(ctx); err != nil {
+				slog.Warn("ops shutdown incomplete", "err", err)
+			}
+		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("spmt-server: %v", err)
+			slog.Error("listener failed", "err", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestAsyncWriterDrainsEverything floods the queue well past its
@@ -120,5 +122,82 @@ func TestCloseDrainsAndDegradesToSync(t *testing.T) {
 	dt.Flush() // no-op after Close, must not hang
 	if st := dt.Stats(); st.QueueDepth != 0 {
 		t.Errorf("queue_depth = %d, want 0", st.QueueDepth)
+	}
+}
+
+// TestConcurrentCloseWaitsForDrain: when several goroutines race Close
+// (ops shutdown path vs SIGTERM drain), EVERY caller must block until
+// the queue has drained — a loser that returned early would tear down
+// the process around a writer that is still flushing.
+func TestConcurrentCloseWaitsForDrain(t *testing.T) {
+	release := make(chan struct{})
+	dt, err := OpenDiskTier(t.TempDir(), 0, gateCodec{release: release})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.PutAsync("k", &blob{S: "v", Bytes: 8})
+	const closers = 4
+	done := make(chan struct{}, closers)
+	for i := 0; i < closers; i++ {
+		go func() {
+			dt.Close()
+			done <- struct{}{}
+		}()
+	}
+	select {
+	case <-done:
+		t.Fatal("a Close returned while the queued write was still gated")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	for i := 0; i < closers; i++ {
+		<-done
+	}
+	if !dt.Has("k") {
+		t.Fatal("queued write lost across concurrent Close")
+	}
+	if st := dt.Stats(); st.Flushes != 1 {
+		t.Errorf("flushes = %d, want exactly 1 for n racing Closes", st.Flushes)
+	}
+}
+
+// TestEngineCloseRacesExec: Engine.Close must be idempotent and safe
+// while Exec traffic is still producing artifacts; every artifact a
+// completed Exec produced must be durable once the last Close returns.
+func TestEngineCloseRacesExec(t *testing.T) {
+	dt := openTestTier(t, t.TempDir(), 0)
+	e := New(Options{Workers: 4, Disk: dt})
+	const producers, per = 8, 20
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("sim/%d-%d", p, i)
+				if _, err := e.Exec(context.Background(), Job{Key: key,
+					Run: func(ctx context.Context, deps []any) (any, error) {
+						return &blob{S: key, Bytes: 1}, nil
+					}}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Close()
+		}()
+	}
+	wg.Wait()
+	e.Close()
+	for p := 0; p < producers; p++ {
+		for i := 0; i < per; i++ {
+			if key := fmt.Sprintf("sim/%d-%d", p, i); !dt.Has(key) {
+				t.Fatalf("artifact %q not durable after Close", key)
+			}
+		}
 	}
 }

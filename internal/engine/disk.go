@@ -265,20 +265,24 @@ func (t *DiskTier) Flush() {
 
 // Close drains the async-write queue and stops the background writer.
 // The tier remains readable and writable — subsequent PutAsync calls
-// degrade to synchronous writes. Close is idempotent.
+// degrade to synchronous writes. Close is idempotent and safe to call
+// concurrently: EVERY caller blocks until the queue has drained, so
+// whichever of two racing shutdown paths (ops handler, signal handler)
+// returns first still observes a fully-flushed store.
 func (t *DiskTier) Close() {
 	t.sendMu.Lock()
-	if t.closed {
-		t.sendMu.Unlock()
-		return
+	first := !t.closed
+	if first {
+		t.closed = true
+		close(t.queue)
 	}
-	t.closed = true
-	close(t.queue)
 	t.sendMu.Unlock()
 	t.wg.Wait()
-	t.mu.Lock()
-	t.flushes++
-	t.mu.Unlock()
+	if first {
+		t.mu.Lock()
+		t.flushes++
+		t.mu.Unlock()
+	}
 }
 
 // Dir returns the store directory.

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Job is one keyed unit of work. Deps are executed (or fetched from
@@ -95,11 +97,12 @@ type call struct {
 // each other's warm artifacts.
 type Engine struct {
 	slots chan struct{}
-	// store is what Exec memoizes through; local is the same chain
-	// minus the remote-fetch layer (identical when Options.Remote is
-	// nil) — the view Peek and WarmFromDisk use.
-	store    Store
+	// local is the store chain Exec memoizes through (memory, or
+	// memory+disk) — also the view Peek and WarmFromDisk use. rstore,
+	// when non-nil, is the remote-fetch stage consulted between a local
+	// miss and a fresh computation.
 	local    Store
+	rstore   *remoteStore
 	mem      *Cache
 	disk     *DiskTier
 	latency  *latencyRecorder
@@ -120,14 +123,14 @@ func New(opts Options) *Engine {
 	if opts.Disk != nil {
 		local = NewTieredStore(mem, opts.Disk)
 	}
-	store := local
+	var rstore *remoteStore
 	if opts.Remote != nil {
-		store = newRemoteStore(local, opts.Remote)
+		rstore = newRemoteStore(local, opts.Remote)
 	}
 	return &Engine{
 		slots:    make(chan struct{}, w),
-		store:    store,
 		local:    local,
+		rstore:   rstore,
 		mem:      mem,
 		disk:     opts.Disk,
 		latency:  newLatencyRecorder(),
@@ -161,6 +164,10 @@ func (e *Engine) Disk() *DiskTier { return e.disk }
 // background writer, so every computed artifact is durable before the
 // process exits. A memory-only engine closes trivially; the engine
 // itself stays usable (later disk writes degrade to synchronous).
+// Close is idempotent and safe to call concurrently with itself and
+// with in-flight Exec calls — every Close returns only after the queue
+// has drained, so an ops shutdown path racing a SIGTERM drain cannot
+// observe a half-flushed store.
 func (e *Engine) Close() {
 	if e.disk != nil {
 		e.disk.Close()
@@ -207,16 +214,42 @@ func (e *Engine) WarmFromDisk() int {
 // computation, or a fresh run on the worker pool (dependencies first,
 // concurrently). The error of a failed run is propagated to every
 // joined caller; failures are never cached, so a later Exec retries.
+//
+// Under an active trace, every keyed resolution records an
+// "exec <kind>" span whose tier attribute names how the artifact was
+// obtained — mem, disk, remote, deduped, or computed — the per-stage
+// attribution the span tree exists for. An untraced call pays one
+// context lookup and nothing else.
 func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 	if j.Key != "" {
-		if v, ok := e.store.Get(j.Key); ok {
+		span, ctx := obs.StartSpan(ctx, "exec "+JobKind(j.Key), obs.A("key", j.Key))
+		defer span.End()
+		// The memory peek exists only to split the mem/disk tier
+		// attribute; it records no stats and is skipped untraced.
+		memResident := false
+		if span.Active() && e.disk != nil {
+			_, memResident = e.mem.Recheck(j.Key)
+		}
+		if v, ok := e.local.Get(j.Key); ok {
+			if e.disk != nil && !memResident {
+				span.SetAttr("tier", "disk")
+			} else {
+				span.SetAttr("tier", "mem")
+			}
 			return v, nil
+		}
+		if e.rstore != nil {
+			if v, ok := e.rstore.Fetch(ctx, j.Key); ok {
+				span.SetAttr("tier", "remote")
+				return v, nil
+			}
 		}
 		// Singleflight: join an identical in-flight computation.
 		e.mu.Lock()
 		if c, ok := e.inflight[j.Key]; ok {
 			e.mu.Unlock()
 			e.deduped.Add(1)
+			span.SetAttr("tier", "deduped")
 			select {
 			case <-c.done:
 				if c.err != nil && ctx.Err() == nil &&
@@ -245,7 +278,9 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 				c.err = fmt.Errorf("engine: job %q panicked", j.Key)
 			}
 			if c.err == nil && !fromStore {
-				e.store.Add(j.Key, c.val)
+				ps, _ := obs.StartSpan(ctx, "persist "+JobKind(j.Key), obs.A("key", j.Key))
+				e.local.Add(j.Key, c.val)
+				ps.End()
 			}
 			e.mu.Lock()
 			delete(e.inflight, j.Key)
@@ -257,12 +292,17 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 		// miss above and the inflight registration. Re-running the job
 		// would mint a second pointer for artifacts the racer's
 		// consumers already hold.
-		if v, ok := e.store.Recheck(j.Key); ok {
+		if v, ok := e.local.Recheck(j.Key); ok {
+			span.SetAttr("tier", "mem")
 			c.val, fromStore, completed = v, true, true
 			return c.val, nil
 		}
+		span.SetAttr("tier", "computed")
 		c.val, c.err = e.run(ctx, j)
 		completed = true
+		if c.err != nil {
+			span.SetAttr("error", c.err.Error())
+		}
 		return c.val, c.err
 	}
 	return e.run(ctx, j)
@@ -284,9 +324,11 @@ func (e *Engine) run(ctx context.Context, j Job) (any, error) {
 	}
 	defer func() { <-e.slots }()
 	e.executed.Add(1)
+	rs, rctx := obs.StartSpan(ctx, "run "+JobKind(j.Key))
 	start := time.Now()
-	v, err := j.Run(ctx, deps)
+	v, err := j.Run(rctx, deps)
 	e.latency.observe(JobKind(j.Key), time.Since(start))
+	rs.End()
 	if err != nil {
 		return nil, fmt.Errorf("engine: job %q: %w", j.Key, err)
 	}

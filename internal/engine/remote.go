@@ -7,21 +7,28 @@
 // the local disk tier like any locally-computed artifact.
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // RemoteFetcher fetches an artifact computed elsewhere (typically the
 // owning shard of a cluster) by its content key. Implementations
 // report ok=false for any failure — unknown key, unreachable peer,
 // corrupt image — and the engine computes locally. Implementations
 // must be safe for concurrent use, and must bound their own latency
-// (the shard fetcher's FetchTimeout): Fetch runs without the calling
-// job's context, so a cancelled caller can remain blocked behind an
-// in-flight fetch for at most that bound.
+// (the shard fetcher's FetchTimeout). The context carries trace
+// identity for span recording and header propagation only — an
+// implementation should detach the caller's cancellation
+// (context.WithoutCancel) before any network call, because a fetch is
+// shared by every concurrent miss on the key, not owned by the caller
+// whose context happens to arrive first.
 type RemoteFetcher interface {
-	Fetch(key string) (any, bool)
+	Fetch(ctx context.Context, key string) (any, bool)
 }
 
-// remoteStore chains a RemoteFetcher behind the local store tiers.
+// remoteStore is the remote-fetch stage Exec consults between a local
+// store miss and a fresh computation.
 type remoteStore struct {
 	local  Store
 	remote RemoteFetcher
@@ -45,11 +52,10 @@ func newRemoteStore(local Store, remote RemoteFetcher) *remoteStore {
 	return &remoteStore{local: local, remote: remote, inflight: make(map[string]*fetchCall)}
 }
 
-// Get reads through: local tiers first, then the remote fetcher.
-func (s *remoteStore) Get(key string) (any, bool) {
-	if v, ok := s.local.Get(key); ok {
-		return v, true
-	}
+// Fetch resolves key via the remote fetcher, deduplicating concurrent
+// misses on the key and publishing a successful fetch through the
+// local store tiers.
+func (s *remoteStore) Fetch(ctx context.Context, key string) (any, bool) {
 	s.mu.Lock()
 	if c, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
@@ -63,7 +69,7 @@ func (s *remoteStore) Get(key string) (any, bool) {
 	// completed and published) between our miss and the registration.
 	if v, ok := s.local.Recheck(key); ok {
 		c.v, c.ok = v, true
-	} else if v, ok := s.remote.Fetch(key); ok {
+	} else if v, ok := s.remote.Fetch(ctx, key); ok {
 		s.local.Add(key, v)
 		c.v, c.ok = v, true
 	}
@@ -73,13 +79,6 @@ func (s *remoteStore) Get(key string) (any, bool) {
 	close(c.done)
 	return c.v, c.ok
 }
-
-// Recheck stays local: the leader double-check must not pay a network
-// round trip for a race the fetch path above already covers.
-func (s *remoteStore) Recheck(key string) (any, bool) { return s.local.Recheck(key) }
-
-// Add stores locally; shards never push artifacts, peers pull them.
-func (s *remoteStore) Add(key string, val any) { s.local.Add(key, val) }
 
 // Peek returns the artifact under key from the local store tiers only
 // — never the remote fetcher, never by running a job. It is the

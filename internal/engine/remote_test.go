@@ -14,7 +14,7 @@ type fakeFetcher struct {
 	calls atomic.Int64
 }
 
-func (f *fakeFetcher) Fetch(key string) (any, bool) {
+func (f *fakeFetcher) Fetch(ctx context.Context, key string) (any, bool) {
 	f.calls.Add(1)
 	f.mu.Lock()
 	defer f.mu.Unlock()

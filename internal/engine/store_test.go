@@ -347,7 +347,7 @@ func TestEngineWarmFromDisk(t *testing.T) {
 	dir := t.TempDir()
 	dt := openTestTier(t, dir, 0)
 	eng := New(Options{Workers: 1, Disk: dt})
-	ts := eng.store.(*TieredStore)
+	ts := eng.local.(*TieredStore)
 	ts.Add("w1", &blob{S: "one", Bytes: 8})
 	ts.Add("w2", &blob{S: "two", Bytes: 8})
 	eng.Close()
@@ -373,7 +373,7 @@ func TestWarmFromDiskRespectsMemoryBudget(t *testing.T) {
 	dir := t.TempDir()
 	dt := openTestTier(t, dir, 0)
 	eng := New(Options{Workers: 1, Disk: dt})
-	ts := eng.store.(*TieredStore)
+	ts := eng.local.(*TieredStore)
 	now := time.Now()
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("w%d", i)

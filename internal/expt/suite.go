@@ -131,6 +131,11 @@ type Suite struct {
 	Benches []*Bench
 
 	eng *engine.Engine
+	// ctx is the context every engine submission runs under. A suite is
+	// a request-lifetime view (the server builds one per request), so
+	// carrying the request's context here is what lets cancellation and
+	// trace identity reach the engine's spans.
+	ctx context.Context
 }
 
 // NewSuite builds the pipeline for the given benchmarks (nil = the full
@@ -145,14 +150,21 @@ func NewSuite(size workload.SizeClass, names []string) (*Suite, error) {
 // the per-benchmark artefact chains concurrently up to the engine's
 // worker bound. A nil engine selects a GOMAXPROCS-sized one.
 func NewSuiteEngine(eng *engine.Engine, size workload.SizeClass, names []string) (*Suite, error) {
+	return NewSuiteEngineCtx(context.Background(), eng, size, names)
+}
+
+// NewSuiteEngineCtx is NewSuiteEngine under a caller context: every
+// engine submission the suite makes — construction here and later
+// Table/Sim/figure work — runs under ctx, so cancelling it abandons
+// the work and any trace it carries extends into the engine.
+func NewSuiteEngineCtx(ctx context.Context, eng *engine.Engine, size workload.SizeClass, names []string) (*Suite, error) {
 	if eng == nil {
 		eng = engine.New(engine.Options{})
 	}
 	if names == nil {
 		names = workload.Benchmarks
 	}
-	s := &Suite{Size: size, eng: eng}
-	ctx := context.Background()
+	s := &Suite{Size: size, eng: eng, ctx: ctx}
 	benches := make([]*Bench, len(names))
 	errs := make([]error, len(names))
 	done := make(chan int, len(names))
@@ -334,7 +346,7 @@ func (s *Suite) Table(b *Bench, policy string) (*core.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.eng.Exec(context.Background(), j)
+	v, err := s.eng.Exec(s.ctx, j)
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +394,7 @@ func (s *Suite) Sim(b *Bench, sp SimSpec) (*cluster.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.eng.Exec(context.Background(), j)
+	v, err := s.eng.Exec(s.ctx, j)
 	if err != nil {
 		return nil, fmt.Errorf("expt: %s: %w", j.Key, err)
 	}
@@ -394,7 +406,7 @@ func (s *Suite) Sim(b *Bench, sp SimSpec) (*cluster.Result, error) {
 // concurrently, bounded by its worker pool, and returns the outputs in
 // declaration order.
 func (s *Suite) execLayer(jobs []engine.Job) ([]any, error) {
-	v, err := s.eng.Exec(context.Background(), engine.Job{
+	v, err := s.eng.Exec(s.ctx, engine.Job{
 		Deps: jobs,
 		Run:  func(ctx context.Context, deps []any) (any, error) { return deps, nil },
 	})

@@ -1,0 +1,133 @@
+// Span-tree rendering: the wire shape GET /v1/traces/{id} serves and
+// the shape the entry node's stitcher consumes from peers. Spans are
+// stored flat (id, parent) and assembled into a tree here; grafting a
+// peer's subtree is a pure append of its roots under the local span
+// that crossed the wire.
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// SpanJSON is one span of a rendered trace tree.
+type SpanJSON struct {
+	Name string `json:"name"`
+	// Node is set on the root spans of each node's subtree in a
+	// stitched cross-node trace; children inherit their nearest
+	// ancestor's node.
+	Node          string            `json:"node,omitempty"`
+	StartUnixNano int64             `json:"start_unix_nano"`
+	DurationNanos int64             `json:"duration_ns"`
+	Attrs         map[string]string `json:"attrs,omitempty"`
+	Children      []*SpanJSON       `json:"children,omitempty"`
+}
+
+// TraceJSON is the GET /v1/traces/{id} response body.
+type TraceJSON struct {
+	ID   string `json:"id"`
+	Node string `json:"node,omitempty"`
+	// Spans counts spans in this tree (before any stitching); Dropped
+	// counts spans lost to the per-trace budget.
+	Spans   int         `json:"spans"`
+	Dropped uint64      `json:"dropped,omitempty"`
+	Roots   []*SpanJSON `json:"roots"`
+}
+
+// TraceSummary is one line of the GET /v1/traces listing.
+type TraceSummary struct {
+	ID            string `json:"id"`
+	Node          string `json:"node,omitempty"`
+	Root          string `json:"root,omitempty"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	DurationNanos int64  `json:"duration_ns"`
+	Spans         int    `json:"spans"`
+}
+
+// snapshot copies the recorded spans under the trace lock.
+func (tr *Trace) snapshot() (spans []spanRec, dropped uint64, created time.Time) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]spanRec(nil), tr.spans...), tr.dropped, tr.created
+}
+
+// JSON renders the trace's local span tree. Spans whose parent was
+// never recorded (still running, dropped, or the root) become roots.
+// Siblings are ordered by start time (ID as tiebreak), so the tree
+// reads in execution order.
+func (tr *Trace) JSON() *TraceJSON {
+	spans, dropped, _ := tr.snapshot()
+	nodes := make(map[uint32]*SpanJSON, len(spans))
+	for i := range spans {
+		rec := &spans[i]
+		sj := &SpanJSON{
+			Name:          rec.name,
+			StartUnixNano: rec.start.UnixNano(),
+			DurationNanos: int64(rec.dur),
+		}
+		if len(rec.attrs) > 0 {
+			sj.Attrs = make(map[string]string, len(rec.attrs))
+			for _, a := range rec.attrs {
+				sj.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[rec.id] = sj
+	}
+	out := &TraceJSON{ID: tr.id, Node: tr.node, Spans: len(spans), Dropped: dropped}
+	for i := range spans {
+		rec := &spans[i]
+		if parent, ok := nodes[rec.parent]; ok && rec.parent != rec.id {
+			parent.Children = append(parent.Children, nodes[rec.id])
+		} else {
+			out.Roots = append(out.Roots, nodes[rec.id])
+		}
+	}
+	sortTree(out.Roots)
+	for _, r := range out.Roots {
+		r.Node = tr.node
+	}
+	return out
+}
+
+func sortTree(spans []*SpanJSON) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].StartUnixNano < spans[j].StartUnixNano
+	})
+	for _, s := range spans {
+		sortTree(s.Children)
+	}
+}
+
+// Summary renders the trace's listing line. Duration spans the
+// earliest span start to the latest span end (the root span's window
+// when one exists).
+func (tr *Trace) Summary() TraceSummary {
+	spans, _, created := tr.snapshot()
+	sum := TraceSummary{
+		ID:            tr.id,
+		Node:          tr.node,
+		StartUnixNano: created.UnixNano(),
+		Spans:         len(spans),
+	}
+	var first, last time.Time
+	var rootStart time.Time
+	for i := range spans {
+		rec := &spans[i]
+		end := rec.start.Add(rec.dur)
+		if first.IsZero() || rec.start.Before(first) {
+			first = rec.start
+		}
+		if end.After(last) {
+			last = end
+		}
+		if rec.parent == 0 && (sum.Root == "" || rec.start.Before(rootStart)) {
+			sum.Root = rec.name
+			rootStart = rec.start
+		}
+	}
+	if !first.IsZero() {
+		sum.StartUnixNano = first.UnixNano()
+		sum.DurationNanos = int64(last.Sub(first))
+	}
+	return sum
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestValidID(t *testing.T) {
+	valid := []string{"a", "deadbeef01234567", "A-Z_09", "0000000000000000"}
+	for _, s := range valid {
+		if !ValidID(s) {
+			t.Errorf("ValidID(%q) = false, want true", s)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	invalid := []string{"", "has space", "semi;colon", "new\nline", `quo"te`, string(long)}
+	for _, s := range invalid {
+		if ValidID(s) {
+			t.Errorf("ValidID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestNewIDIsValid(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if !ValidID(id) {
+			t.Fatalf("NewID() = %q, not valid", id)
+		}
+		if len(id) != 16 {
+			t.Fatalf("NewID() = %q, want 16 hex chars", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("NewID produced duplicates in 100 draws: %d unique", len(seen))
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	if s.Active() {
+		t.Fatal("nil span reports active")
+	}
+	s.SetAttr("k", "v") // must not panic
+	s.End()             // must not panic
+}
+
+func TestUntracedContext(t *testing.T) {
+	ctx := context.Background()
+	if id := TraceIDFrom(ctx); id != "" {
+		t.Fatalf("TraceIDFrom(untraced) = %q, want empty", id)
+	}
+	sp, ctx2 := StartSpan(ctx, "x")
+	if sp != nil {
+		t.Fatal("StartSpan on untraced context returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan on untraced context changed the context")
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer("node-a", 0, 0).Trace("t1")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if id := TraceIDFrom(ctx); id != "t1" {
+		t.Fatalf("TraceIDFrom = %q, want t1", id)
+	}
+
+	root, ctx := StartSpan(ctx, "http /v1/simulate", A("endpoint", "/v1/simulate"))
+	child, cctx := StartSpan(ctx, "exec sim", A("tier", "computed"))
+	grand, _ := StartSpan(cctx, "run sim")
+	grand.End()
+	child.SetAttr("tier", "mem") // overwrite
+	child.End()
+	child.End() // idempotent
+	sibling, _ := StartSpan(ctx, "route")
+	sibling.End()
+	root.End()
+
+	j := tr.JSON()
+	if j.ID != "t1" || j.Node != "node-a" {
+		t.Fatalf("trace identity: %+v", j)
+	}
+	if j.Spans != 4 {
+		t.Fatalf("got %d spans, want 4", j.Spans)
+	}
+	if len(j.Roots) != 1 || j.Roots[0].Name != "http /v1/simulate" {
+		t.Fatalf("roots = %+v", j.Roots)
+	}
+	if j.Roots[0].Node != "node-a" {
+		t.Fatalf("root node = %q, want node-a", j.Roots[0].Node)
+	}
+	kids := j.Roots[0].Children
+	if len(kids) != 2 {
+		t.Fatalf("root has %d children, want 2: %+v", len(kids), kids)
+	}
+	var exec *SpanJSON
+	for _, k := range kids {
+		if k.Name == "exec sim" {
+			exec = k
+		}
+	}
+	if exec == nil {
+		t.Fatalf("no exec sim child: %+v", kids)
+	}
+	if exec.Attrs["tier"] != "mem" {
+		t.Fatalf("SetAttr overwrite failed: %+v", exec.Attrs)
+	}
+	if len(exec.Children) != 1 || exec.Children[0].Name != "run sim" {
+		t.Fatalf("exec children = %+v", exec.Children)
+	}
+
+	sum := tr.Summary()
+	if sum.Root != "http /v1/simulate" || sum.Spans != 4 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestSpanBudget(t *testing.T) {
+	tc := NewTracer("", 0, 3)
+	tr := tc.Trace("budget")
+	ctx := ContextWithTrace(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		sp, _ := StartSpan(ctx, "s")
+		sp.End()
+	}
+	j := tr.JSON()
+	if j.Spans != 3 {
+		t.Fatalf("kept %d spans, want 3", j.Spans)
+	}
+	if j.Dropped != 2 {
+		t.Fatalf("dropped %d, want 2", j.Dropped)
+	}
+	if st := tc.Stats(); st.SpansDropped != 2 {
+		t.Fatalf("tracer dropped = %d, want 2", st.SpansDropped)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tc := NewTracer("n", 3, 0)
+	for i := 0; i < 5; i++ {
+		tc.Trace(fmt.Sprintf("id%d", i))
+	}
+	if _, ok := tc.Lookup("id0"); ok {
+		t.Fatal("id0 should have been evicted")
+	}
+	if _, ok := tc.Lookup("id1"); ok {
+		t.Fatal("id1 should have been evicted")
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := tc.Lookup(fmt.Sprintf("id%d", i)); !ok {
+			t.Fatalf("id%d missing", i)
+		}
+	}
+	st := tc.Stats()
+	if st.Started != 5 || st.Resident != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	recent := tc.Recent(0)
+	if len(recent) != 3 || recent[0].ID != "id4" || recent[2].ID != "id2" {
+		t.Fatalf("recent = %+v", recent)
+	}
+	if r := tc.Recent(2); len(r) != 2 {
+		t.Fatalf("Recent(2) = %d entries", len(r))
+	}
+}
+
+func TestTraceGetOrCreateAdoptsID(t *testing.T) {
+	tc := NewTracer("n", 0, 0)
+	a := tc.Trace("shared")
+	b := tc.Trace("shared")
+	if a != b {
+		t.Fatal("same ID produced distinct traces")
+	}
+	c := tc.Trace("not a valid id!")
+	if c.ID() == "not a valid id!" {
+		t.Fatal("invalid ID adopted verbatim")
+	}
+	if !ValidID(c.ID()) {
+		t.Fatalf("replacement ID %q invalid", c.ID())
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer("n", 0, 0).Trace("conc")
+	ctx := ContextWithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				sp, sctx := StartSpan(ctx, "outer")
+				in, _ := StartSpan(sctx, "inner")
+				in.SetAttr("k", "v")
+				in.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if j := tr.JSON(); j.Spans != DefaultMaxSpans {
+		t.Fatalf("spans = %d, want budget %d", j.Spans, DefaultMaxSpans)
+	}
+}

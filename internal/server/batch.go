@@ -226,7 +226,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.handleBatchSharded(w, r, sz, specs, resolved)
 		return
 	}
-	suite, err := expt.NewSuiteEngine(s.eng, sz, benches)
+	suite, err := expt.NewSuiteEngineCtx(r.Context(), s.eng, sz, benches)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

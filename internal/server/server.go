@@ -14,6 +14,14 @@
 //	GET  /v1/figures/{id} ?size=test&bench=a,b        → one paper figure as JSON
 //	GET  /v1/artifacts    ?key=…                      → encoded artifact image (shard exchange)
 //	GET  /v1/stats                                    → engine/store/shard counters
+//	GET  /v1/traces       ?limit=N                    → recent trace summaries
+//	GET  /v1/traces/{id}  ?scope=local                → one trace's span tree (cluster-stitched)
+//	GET  /metrics                                     → Prometheus text exposition
+//
+// Every /v1 request runs under a trace: the X-Spmt-Trace header names
+// it (adopted when a peer forwarded the request, minted otherwise) and
+// is echoed on the response, so a client can fetch the cluster-wide
+// span tree from /v1/traces/{id} on the node it talked to. See obs.go.
 //
 // In peer mode (NewCluster) a consistent-hash ring over the member
 // list routes every request to the node owning its artifact key:
@@ -25,6 +33,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,6 +46,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/engine/codec"
 	"repro/internal/expt"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/workload"
 )
@@ -52,6 +62,10 @@ type Server struct {
 	cluster  *shard.Cluster
 	codec    engine.Codec
 	requests atomic.Uint64
+
+	tracer   *obs.Tracer
+	httpReqs *obs.CounterVec   // by endpoint pattern, status code
+	httpDur  *obs.HistogramVec // by endpoint pattern
 }
 
 // New builds a standalone Server over the given engine (nil selects a
@@ -66,7 +80,18 @@ func NewCluster(eng *engine.Engine, cl *shard.Cluster) *Server {
 	if eng == nil {
 		eng = engine.New(engine.Options{})
 	}
-	return &Server{eng: eng, cluster: cl, codec: codec.New()}
+	node := ""
+	if cl != nil {
+		node = cl.Self()
+	}
+	return &Server{
+		eng:      eng,
+		cluster:  cl,
+		codec:    codec.New(),
+		tracer:   obs.NewTracer(node, 0, 0),
+		httpReqs: obs.NewCounterVec("endpoint", "code"),
+		httpDur:  obs.NewHistogramVec(httpDurationBuckets, "endpoint"),
+	}
 }
 
 // Engine returns the server's engine (for tests and embedding).
@@ -86,10 +111,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
 	mux.HandleFunc("GET /v1/artifacts", s.handleArtifact)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		mux.ServeHTTP(w, r)
-	})
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.observe(mux)
 }
 
 // errorBody is the uniform error envelope.
@@ -172,9 +197,10 @@ func parsePredictor(s string) (cluster.PredictorKind, error) {
 }
 
 // bench resolves one benchmark's artefact chain through the engine: a
-// warm request touches only the cache.
-func (s *Server) bench(name string, sz workload.SizeClass) (*expt.Suite, *expt.Bench, error) {
-	suite, err := expt.NewSuiteEngine(s.eng, sz, []string{name})
+// warm request touches only the cache. The request context carries the
+// trace into every engine job the chain submits.
+func (s *Server) bench(ctx context.Context, name string, sz workload.SizeClass) (*expt.Suite, *expt.Bench, error) {
+	suite, err := expt.NewSuiteEngineCtx(ctx, s.eng, sz, []string{name})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -214,7 +240,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.routeToOwner(w, r, expt.BenchKey(req.Bench, sz), body) {
 		return
 	}
-	suite, b, err := s.bench(req.Bench, sz)
+	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -296,7 +322,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		s.routeToOwner(w, r, key, body) {
 		return
 	}
-	suite, b, err := s.bench(req.Bench, sz)
+	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -394,7 +420,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if s.routeToOwner(w, r, expt.SimKey(sz, sp), body) {
 		return
 	}
-	suite, b, err := s.bench(req.Bench, sz)
+	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -452,7 +478,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if s.routeToOwner(w, r, figKey, nil) {
 		return
 	}
-	suite, err := expt.NewSuiteEngine(s.eng, sz, names)
+	suite, err := expt.NewSuiteEngineCtx(r.Context(), s.eng, sz, names)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

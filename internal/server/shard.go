@@ -18,13 +18,15 @@ package server
 import (
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/expt"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/workload"
 )
@@ -52,20 +54,35 @@ func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, key string
 		return false
 	}
 	owner := s.cluster.Owner(key)
+	span, ctx := obs.StartSpan(r.Context(), "route", obs.A("key", key), obs.A("owner", owner))
+	defer span.End()
 	if owner == "" || owner == s.cluster.Self() {
+		span.SetAttr("decision", "local")
 		return false
 	}
-	resp, err := s.cluster.Forward(r.Context(), owner, r.Method, r.URL.RequestURI(), body)
+	fallback := func(reason shard.FallbackReason) {
+		s.cluster.NoteProxyFallback(reason)
+		span.SetAttr("decision", "fallback")
+		span.SetAttr("reason", string(reason))
+	}
+	resp, err := s.cluster.Forward(ctx, owner, r.Method, r.URL.RequestURI(), body)
 	if err != nil {
-		s.cluster.NoteProxyFallback()
-		log.Printf("server: forward %s %s to %s: %v (answering locally)", r.Method, r.URL.Path, owner, err)
+		fallback(shard.FallbackTransport)
+		slog.Warn("server: forward failed; answering locally",
+			"method", r.Method, "path", r.URL.Path, "owner", owner, "err", err,
+			"trace", obs.TraceIDFrom(ctx))
 		return false
 	}
 	defer resp.Body.Close()
+	// From here the owner handled the request (and recorded its own
+	// spans under our trace ID), so the span names it as a peer for the
+	// cross-node stitcher even when we fall back.
+	span.SetAttr("peer", owner)
 	if resp.StatusCode >= http.StatusInternalServerError {
-		s.cluster.NoteProxyFallback()
-		log.Printf("server: forward %s %s to %s: status %d (answering locally)",
-			r.Method, r.URL.Path, owner, resp.StatusCode)
+		fallback(shard.FallbackStatus)
+		slog.Warn("server: forward answered 5xx; answering locally",
+			"method", r.Method, "path", r.URL.Path, "owner", owner, "status", resp.StatusCode,
+			"trace", obs.TraceIDFrom(ctx))
 		return false
 	}
 	// Buffer the whole (bounded JSON) body before relaying: an owner
@@ -75,11 +92,13 @@ func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, key string
 	// becomes a fallback too, not an entry-node OOM.
 	out, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBodyBytes+1))
 	if err != nil || len(out) > maxProxyBodyBytes {
-		s.cluster.NoteProxyFallback()
-		log.Printf("server: forward %s %s to %s: reading body (%d bytes): %v (answering locally)",
-			r.Method, r.URL.Path, owner, len(out), err)
+		fallback(shard.FallbackBody)
+		slog.Warn("server: forward died mid-body; answering locally",
+			"method", r.Method, "path", r.URL.Path, "owner", owner, "bytes", len(out), "err", err,
+			"trace", obs.TraceIDFrom(ctx))
 		return false
 	}
+	span.SetAttr("decision", "proxied")
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
@@ -162,7 +181,7 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 				names = append(names, n)
 			}
 		}
-		suite, err := expt.NewSuiteEngine(s.eng, sz, names)
+		suite, err := expt.NewSuiteEngineCtx(ctx, s.eng, sz, names)
 		if err != nil {
 			for _, i := range idxs {
 				deliver(i, nil, err)
@@ -192,6 +211,9 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 	// owner, non-200, truncated stream, remote error line — is
 	// recomputed locally for byte-exact output.
 	runRemote := func(owner string, idxs []int) {
+		span, fctx := obs.StartSpan(ctx, "fanout",
+			obs.A("owner", owner), obs.A("specs", strconv.Itoa(len(idxs))))
+		defer span.End()
 		sub := batchRequest{Size: sz.String(), Specs: make([]batchSpec, len(idxs))}
 		for j, i := range idxs {
 			sub.Specs[j] = specs[i]
@@ -203,14 +225,25 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 		}
 		s.cluster.NoteBatchFanout()
 		got := make([]bool, len(idxs))
-		resp, err := s.cluster.Forward(ctx, owner, http.MethodPost, "/v1/batch", body)
-		if err != nil || resp.StatusCode != http.StatusOK {
-			if resp != nil {
-				resp.Body.Close()
-			}
-			s.cluster.NoteProxyFallback()
-			log.Printf("server: batch fan-out to %s failed (%d specs recomputed locally)", owner, len(idxs))
-		} else {
+		// reason tracks why specs (if any) end up missing: a stream that
+		// came back incomplete unless the forward itself failed first.
+		reason := shard.FallbackStream
+		resp, err := s.cluster.Forward(fctx, owner, http.MethodPost, "/v1/batch", body)
+		switch {
+		case err != nil:
+			reason = shard.FallbackTransport
+			s.cluster.NoteProxyFallback(reason)
+			slog.Warn("server: batch fan-out unreachable; recomputing locally",
+				"owner", owner, "specs", len(idxs), "err", err, "trace", obs.TraceIDFrom(fctx))
+		case resp.StatusCode != http.StatusOK:
+			resp.Body.Close()
+			span.SetAttr("peer", owner)
+			reason = shard.FallbackStatus
+			s.cluster.NoteProxyFallback(reason)
+			slog.Warn("server: batch fan-out rejected; recomputing locally",
+				"owner", owner, "specs", len(idxs), "status", resp.StatusCode, "trace", obs.TraceIDFrom(fctx))
+		default:
+			span.SetAttr("peer", owner)
 			dec := json.NewDecoder(resp.Body)
 			for {
 				var wl wireBatchLine
@@ -235,7 +268,9 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 			}
 		}
 		if len(missing) > 0 {
-			s.cluster.NoteBatchFallback(len(missing))
+			s.cluster.NoteBatchFallback(len(missing), reason)
+			span.SetAttr("fallback_specs", strconv.Itoa(len(missing)))
+			span.SetAttr("reason", string(reason))
 			runLocal(missing)
 		}
 	}

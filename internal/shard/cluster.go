@@ -14,8 +14,11 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ForwardedHeader marks intra-cluster requests (value: the sender's
@@ -33,6 +36,28 @@ const ArtifactKindHeader = "X-Spmt-Artifact-Kind"
 // a full-size trace is tens of MB). Guards the fetcher against a
 // misbehaving peer, not against legitimate artifacts.
 const maxArtifactBytes = 1 << 31
+
+// FallbackReason distinguishes why a proxied request or fanned-out
+// sub-batch was answered by local compute instead of its owner. The
+// causes degrade differently — a transport error means the owner is
+// down or partitioned, a 5xx means it is up but failing, a mid-body
+// failure means it died streaming — so they are counted separately
+// (metric label "reason") rather than collapsed into one counter.
+type FallbackReason string
+
+const (
+	// FallbackTransport: the connection failed (dial, reset, timeout)
+	// before a status line arrived.
+	FallbackTransport FallbackReason = "transport"
+	// FallbackStatus: the owner answered with a 5xx.
+	FallbackStatus FallbackReason = "status"
+	// FallbackBody: the owner's response died mid-body (proxy copy
+	// failed after headers were committed).
+	FallbackBody FallbackReason = "body"
+	// FallbackStream: a fanned-out batch sub-stream ended early or
+	// carried malformed lines, so the missing specs were recomputed.
+	FallbackStream FallbackReason = "stream"
+)
 
 // Options configures a Cluster.
 type Options struct {
@@ -61,14 +86,18 @@ type Stats struct {
 	VNodes  int      `json:"vnodes"`
 	// Proxied counts requests forwarded to their owning shard;
 	// ProxyFallbacks counts forwards that failed and were answered by
-	// local compute instead (degraded-cluster path).
-	Proxied        uint64 `json:"proxied"`
-	ProxyFallbacks uint64 `json:"proxy_fallbacks"`
+	// local compute instead (degraded-cluster path), with
+	// ProxyFallbackReasons splitting the total by FallbackReason.
+	Proxied              uint64            `json:"proxied"`
+	ProxyFallbacks       uint64            `json:"proxy_fallbacks"`
+	ProxyFallbackReasons map[string]uint64 `json:"proxy_fallback_reasons,omitempty"`
 	// BatchFanouts counts sub-batches sent to owning shards;
 	// BatchFallbackSpecs counts batch specs recomputed locally after a
-	// sub-batch failed or its stream came back incomplete.
-	BatchFanouts       uint64 `json:"batch_fanouts"`
-	BatchFallbackSpecs uint64 `json:"batch_fallback_specs"`
+	// sub-batch failed or its stream came back incomplete, split by
+	// reason in BatchFallbackReasons.
+	BatchFanouts         uint64            `json:"batch_fanouts"`
+	BatchFallbackSpecs   uint64            `json:"batch_fallback_specs"`
+	BatchFallbackReasons map[string]uint64 `json:"batch_fallback_reasons,omitempty"`
 	// RemoteFetches counts artifact images fetched from owning shards
 	// on store miss; FetchMisses counts fetch attempts the owner could
 	// not serve (it had not computed the artifact either);
@@ -98,6 +127,13 @@ type Cluster struct {
 	fetchMisses        atomic.Uint64
 	fetchErrors        atomic.Uint64
 	artifactsServed    atomic.Uint64
+
+	// Reason splits are mutex-guarded maps rather than per-reason
+	// atomics: fallbacks are the degraded path, orders of magnitude
+	// rarer than the atomic counters above.
+	reasonMu            sync.Mutex
+	proxyFallbackReason map[FallbackReason]uint64
+	batchFallbackReason map[FallbackReason]uint64
 }
 
 // normalizeNode validates and canonicalises one member URL.
@@ -150,8 +186,10 @@ func New(self string, members []string, opts Options) (*Cluster, error) {
 	// local-compute fallback.
 	dial := (&net.Dialer{Timeout: 5 * time.Second}).DialContext
 	return &Cluster{
-		self: selfN,
-		ring: NewRing(norm, opts.VNodes),
+		self:                selfN,
+		proxyFallbackReason: make(map[FallbackReason]uint64),
+		batchFallbackReason: make(map[FallbackReason]uint64),
+		ring:                NewRing(norm, opts.VNodes),
 		proxy: &http.Client{Transport: &http.Transport{
 			DialContext:           dial,
 			ResponseHeaderTimeout: opts.ProxyHeaderTimeout,
@@ -177,7 +215,7 @@ func (c *Cluster) Owns(key string) bool { return c.ring.Owner(key) == c.self }
 
 // Stats snapshots the shard counters.
 func (c *Cluster) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Self:               c.self,
 		Members:            c.ring.Nodes(),
 		VNodes:             c.ring.VNodes(),
@@ -190,19 +228,56 @@ func (c *Cluster) Stats() Stats {
 		FetchErrors:        c.fetchErrors.Load(),
 		ArtifactsServed:    c.artifactsServed.Load(),
 	}
+	c.reasonMu.Lock()
+	if len(c.proxyFallbackReason) > 0 {
+		s.ProxyFallbackReasons = make(map[string]uint64, len(c.proxyFallbackReason))
+		for r, n := range c.proxyFallbackReason {
+			s.ProxyFallbackReasons[string(r)] = n
+		}
+	}
+	if len(c.batchFallbackReason) > 0 {
+		s.BatchFallbackReasons = make(map[string]uint64, len(c.batchFallbackReason))
+		for r, n := range c.batchFallbackReason {
+			s.BatchFallbackReasons[string(r)] = n
+		}
+	}
+	c.reasonMu.Unlock()
+	return s
 }
 
 // NoteProxyFallback records a failed forward answered locally.
-func (c *Cluster) NoteProxyFallback() { c.proxyFallbacks.Add(1) }
+func (c *Cluster) NoteProxyFallback(reason FallbackReason) {
+	c.proxyFallbacks.Add(1)
+	c.reasonMu.Lock()
+	c.proxyFallbackReason[reason]++
+	c.reasonMu.Unlock()
+}
 
 // NoteBatchFanout records one sub-batch sent to an owning shard.
 func (c *Cluster) NoteBatchFanout() { c.batchFanouts.Add(1) }
 
 // NoteBatchFallback records n batch specs recomputed locally.
-func (c *Cluster) NoteBatchFallback(n int) { c.batchFallbackSpecs.Add(uint64(n)) }
+func (c *Cluster) NoteBatchFallback(n int, reason FallbackReason) {
+	if n <= 0 {
+		return
+	}
+	c.batchFallbackSpecs.Add(uint64(n))
+	c.reasonMu.Lock()
+	c.batchFallbackReason[reason] += uint64(n)
+	c.reasonMu.Unlock()
+}
 
 // NoteArtifactServed records one artifact image served to a peer.
 func (c *Cluster) NoteArtifactServed() { c.artifactsServed.Add(1) }
+
+// setTraceHeader propagates the context's trace ID onto an
+// intra-cluster request, so the spans the peer records land in the
+// same trace the entry node started and the stitcher can find them.
+func setTraceHeader(ctx context.Context, req *http.Request) {
+	if id := obs.TraceIDFrom(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+}
 
 // Forward sends the (already-read) request body to node's
 // path-and-query, marked with ForwardedHeader so the receiver computes
@@ -215,6 +290,7 @@ func (c *Cluster) Forward(ctx context.Context, node, method, pathQuery string, b
 		return nil, err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	setTraceHeader(ctx, req)
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -234,6 +310,7 @@ func (c *Cluster) GetJSON(ctx context.Context, node, path string, v any) error {
 		return err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	setTraceHeader(ctx, req)
 	resp, err := c.fetch.Do(req)
 	if err != nil {
 		return err
@@ -255,6 +332,7 @@ func (c *Cluster) FetchArtifact(ctx context.Context, node, key string) (kind str
 		return "", nil, false, err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	setTraceHeader(ctx, req)
 	resp, err := c.fetch.Do(req)
 	if err != nil {
 		return "", nil, false, err

@@ -9,9 +9,11 @@ package shard
 
 import (
 	"context"
-	"log"
+	"log/slog"
+	"strconv"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // fetchableKinds lists the job-key prefixes (engine.JobKind) whose
@@ -46,30 +48,47 @@ func NewFetcher(cluster *Cluster, codec engine.Codec) *Fetcher {
 // reported as a miss so the engine simply computes the artifact
 // locally; a degraded cluster loses transfer efficiency, never
 // answers.
-func (f *Fetcher) Fetch(key string) (any, bool) {
-	if !fetchableKinds[engine.JobKind(key)] {
+//
+// The caller's context contributes trace identity only: the network
+// call runs detached from its cancellation (context.WithoutCancel),
+// because the engine shares one in-flight fetch between every
+// concurrent miss on the key — the first caller hanging up must not
+// kill the fetch the others are still waiting on. The fetch client's
+// own FetchTimeout bounds it instead.
+func (f *Fetcher) Fetch(ctx context.Context, key string) (any, bool) {
+	kind := engine.JobKind(key)
+	if !fetchableKinds[kind] {
 		return nil, false
 	}
 	owner := f.cluster.Owner(key)
 	if owner == "" || owner == f.cluster.Self() {
 		return nil, false
 	}
-	kind, data, ok, err := f.cluster.FetchArtifact(context.Background(), owner, key)
+	span, ctx := obs.StartSpan(ctx, "fetch "+kind, obs.A("key", key), obs.A("peer", owner))
+	defer span.End()
+	wireKind, data, ok, err := f.cluster.FetchArtifact(context.WithoutCancel(ctx), owner, key)
 	if err != nil {
 		f.cluster.fetchErrors.Add(1)
-		log.Printf("shard: fetch %q from %s: %v (computing locally)", key, owner, err)
+		span.SetAttr("outcome", "error")
+		slog.Warn("shard: artifact fetch failed; computing locally",
+			"key", key, "peer", owner, "err", err, "trace", obs.TraceIDFrom(ctx))
 		return nil, false
 	}
 	if !ok {
 		f.cluster.fetchMisses.Add(1)
+		span.SetAttr("outcome", "miss")
 		return nil, false
 	}
-	v, err := f.codec.Decode(kind, data)
+	v, err := f.codec.Decode(wireKind, data)
 	if err != nil {
 		f.cluster.fetchErrors.Add(1)
-		log.Printf("shard: decode fetched %q (%s) from %s: %v (computing locally)", key, kind, owner, err)
+		span.SetAttr("outcome", "error")
+		slog.Warn("shard: fetched artifact image undecodable; computing locally",
+			"key", key, "kind", wireKind, "peer", owner, "err", err, "trace", obs.TraceIDFrom(ctx))
 		return nil, false
 	}
 	f.cluster.remoteFetches.Add(1)
+	span.SetAttr("outcome", "hit")
+	span.SetAttr("bytes", strconv.Itoa(len(data)))
 	return v, true
 }

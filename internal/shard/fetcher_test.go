@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -72,21 +73,21 @@ func TestFetcherWireContract(t *testing.T) {
 		}
 	}
 
-	if v, ok := f.Fetch(peerKey("reach/warm/")); !ok {
+	if v, ok := f.Fetch(context.Background(), peerKey("reach/warm/")); !ok {
 		t.Error("fetch of a warm peer artifact must hit")
 	} else if got, isMat := v.(*linalg.Matrix); !isMat || got.Rows != 2 || got.Data[1] != 2.5 {
 		t.Errorf("fetched artifact = %#v, want decoded matrix", v)
 	}
-	if _, ok := f.Fetch(peerKey("reach/cold/")); ok {
+	if _, ok := f.Fetch(context.Background(), peerKey("reach/cold/")); ok {
 		t.Error("owner miss must report a local miss")
 	}
-	if _, ok := f.Fetch(peerKey("reach/corrupt/")); ok {
+	if _, ok := f.Fetch(context.Background(), peerKey("reach/corrupt/")); ok {
 		t.Error("corrupt image must report a miss, not a decoded value")
 	}
-	if _, ok := f.Fetch(selfKey("reach/warm/")); ok {
+	if _, ok := f.Fetch(context.Background(), selfKey("reach/warm/")); ok {
 		t.Error("self-owned keys must never be fetched")
 	}
-	if _, ok := f.Fetch(peerKey("bench/composite/")); ok {
+	if _, ok := f.Fetch(context.Background(), peerKey("bench/composite/")); ok {
 		t.Error("non-fetchable kinds must not cross the wire")
 	}
 
@@ -98,7 +99,7 @@ func TestFetcherWireContract(t *testing.T) {
 
 	// Unreachable owner: every key must degrade to a miss, not a wedge.
 	peer.Close()
-	if _, ok := f.Fetch(peerKey("reach/warm/")); ok {
+	if _, ok := f.Fetch(context.Background(), peerKey("reach/warm/")); ok {
 		t.Error("fetch from a dead peer must miss, enabling local compute")
 	}
 }

@@ -7,13 +7,24 @@
 // warms the memory tier at boot, so a restarted server answers
 // previously-seen requests without re-running emulation.
 //
-// Peer mode (-self + -peers) joins the process to a shard cluster: a
-// consistent-hash ring over the member list assigns every artifact key
-// an owning node, requests to any node are routed to their owner (so
-// any node is a valid entry point), shards exchange computed artifact
-// images over GET /v1/artifacts instead of recomputing, and a node
-// whose owner is down answers by local compute. Every member must be
-// started with the same -peers list.
+// Peer mode (-self + -peers, or -self + -join) joins the process to a
+// shard cluster: a consistent-hash ring over the member list assigns
+// every artifact key an owning node, requests to any node are routed
+// to their owner (so any node is a valid entry point), shards exchange
+// computed artifact images over GET /v1/artifacts instead of
+// recomputing, and a node whose owner is down answers by local
+// compute. -peers seeds the boot membership; -join instead asks an
+// existing member to admit this node and inherits the cluster's
+// current membership — membership is LIVE after boot (join/leave
+// endpoints, gossip, health-probe suspicion), so the lists need not
+// stay identical across members.
+//
+// With -replicas 2 (the default) every key is owned by a primary plus
+// the next distinct node on the ring: computed artifacts are pushed to
+// both asynchronously, degraded reads retry the replica before
+// computing locally, and any membership change triggers a background
+// re-replication sweep — so a single node death costs neither
+// availability nor recompute.
 //
 // Observability: every /v1 request runs under a trace (X-Spmt-Trace,
 // queryable via GET /v1/traces/{id}, stitched across shards), and
@@ -69,8 +80,13 @@ func main() {
 	storeDir := flag.String("store-dir", "", "disk-tier directory for persistent artifacts (empty = memory-only)")
 	storeBytes := flag.String("store-bytes", "", "disk-tier byte budget, e.g. 4GB (empty = unbounded)")
 	self := flag.String("self", "", "this node's URL as peers reach it, e.g. http://host0:8080 (enables peer mode)")
-	peers := flag.String("peers", "", "comma-separated URLs of every cluster member, including -self")
+	peers := flag.String("peers", "", "comma-separated URLs of the boot membership, including -self")
+	join := flag.String("join", "", "URL of an existing member to join through (alternative to -peers)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default)")
+	replicas := flag.Int("replicas", 0, "copies per key incl. the primary (0 = default 2; 1 disables replication)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "single health-probe deadline")
+	probeFailures := flag.Int("probe-failures", 3, "consecutive probe failures before a peer is suspected")
 	flag.Parse()
 
 	if *parallel < 1 {
@@ -78,14 +94,23 @@ func main() {
 		os.Exit(2)
 	}
 	var cl *shard.Cluster
-	if (*self == "") != (*peers == "") {
-		fmt.Fprintln(os.Stderr, "spmt-server: peer mode needs both -self and -peers")
+	if *self == "" && (*peers != "" || *join != "") {
+		fmt.Fprintln(os.Stderr, "spmt-server: peer mode needs -self")
+		os.Exit(2)
+	}
+	if *self != "" && *peers == "" && *join == "" {
+		fmt.Fprintln(os.Stderr, "spmt-server: peer mode needs -peers or -join")
 		os.Exit(2)
 	}
 	if *self != "" {
-		members := strings.Split(*peers, ",")
+		// -join boots a single-member view; the join call below (after
+		// the listener is up) inherits the seed's membership.
+		members := []string{*self}
+		if *peers != "" {
+			members = strings.Split(*peers, ",")
+		}
 		var err error
-		cl, err = shard.New(*self, members, shard.Options{VNodes: *vnodes})
+		cl, err = shard.New(*self, members, shard.Options{VNodes: *vnodes, Replicas: *replicas})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spmt-server: %v\n", err)
 			os.Exit(2)
@@ -104,8 +129,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spmt-server: -store-bytes needs -store-dir")
 		os.Exit(2)
 	}
+	var repl *shard.Replicator
 	if cl != nil {
 		opts.Remote = shard.NewFetcher(cl, codec.New())
+		if cl.Replicas() > 1 {
+			repl = shard.NewReplicator(cl, codec.New())
+			opts.Replicate = repl
+		}
 	}
 	eng := engine.New(opts)
 	if *storeDir != "" {
@@ -115,9 +145,16 @@ func main() {
 			"artifacts", n, "dir", *storeDir, "took", time.Since(start).Round(time.Millisecond))
 	}
 	srv := server.NewCluster(eng, cl)
+	var prober *shard.Prober
 	if cl != nil {
 		slog.Info("peer mode",
-			"self", cl.Self(), "members", cl.Members(), "vnodes", cl.Ring().VNodes())
+			"self", cl.Self(), "members", cl.Members(), "vnodes", cl.Ring().VNodes(),
+			"replicas", cl.Replicas())
+		prober = shard.StartProber(cl, shard.ProberOptions{
+			Interval: *probeInterval,
+			Timeout:  *probeTimeout,
+			Failures: *probeFailures,
+		})
 	}
 
 	hs := &http.Server{
@@ -154,6 +191,27 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	if cl != nil && *join != "" {
+		// The listener must be up before joining: the moment the seed
+		// admits us, peers start routing, probing, and re-replicating
+		// to this node. A few bounded attempts absorb the listener
+		// race and a seed that is itself still booting.
+		go func() {
+			var err error
+			for attempt := 0; attempt < 10; attempt++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				var ms shard.Membership
+				ms, err = cl.JoinVia(ctx, *join)
+				cancel()
+				if err == nil {
+					slog.Info("joined cluster", "via", *join, "epoch", ms.Epoch, "members", ms.Members)
+					return
+				}
+				time.Sleep(time.Second)
+			}
+			slog.Error("cluster join failed; serving standalone", "via", *join, "err", err)
+		}()
+	}
 	select {
 	case sig := <-stop:
 		slog.Info("shutting down", "signal", sig.String())
@@ -162,6 +220,18 @@ func main() {
 		if err := hs.Shutdown(ctx); err != nil {
 			slog.Warn("shutdown incomplete", "err", err)
 		}
+		// Stop cluster background work before draining the store: no
+		// probe churn, no half-finished sweep racing the flush. A
+		// restart reuses the node's identity, so it does NOT leave the
+		// membership — the prober's suspicion covers the gap and
+		// readmits it on the way back up.
+		if prober != nil {
+			prober.Close()
+		}
+		if repl != nil {
+			repl.Close()
+		}
+		srv.Close()
 		eng.Close()
 		if ops != nil {
 			if err := ops.Shutdown(ctx); err != nil {

@@ -362,6 +362,20 @@ func (t *DiskTier) Has(key string) bool {
 	return ok
 }
 
+// HasOrPending is Has extended to artifacts accepted for the
+// background writer but not yet on disk — the "held here" notion the
+// replication receive path needs, where a queued write must count or a
+// double-push lands twice.
+func (t *DiskTier) HasOrPending(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.items[key]; ok {
+		return true
+	}
+	_, queued := t.pending[key]
+	return queued
+}
+
 // Keys returns the resident keys, least recently used first (the order
 // a memory warm-up should replay them so the hottest end up freshest).
 func (t *DiskTier) Keys() []string {

@@ -64,6 +64,21 @@ type Options struct {
 	// of being recomputed. Fetched artifacts are added through the
 	// local store (and so written through to Disk).
 	Remote RemoteFetcher
+	// Replicate, when non-nil, is handed every locally-COMPUTED
+	// artifact right after it is persisted — the R=2 write-through
+	// hook a shard cluster uses to push the artifact to the key's
+	// replica owners. Fetched, injected, or store-resident artifacts
+	// never reach it (they exist elsewhere by construction), so a
+	// replication push can never cascade into another push.
+	// Implementations must return quickly (the shard replicator only
+	// enqueues) — the hook rides the job-completion path.
+	Replicate Replicator
+}
+
+// Replicator receives locally-computed artifacts for asynchronous
+// replication. Implementations must be safe for concurrent use.
+type Replicator interface {
+	Replicate(ctx context.Context, key string, val any)
 }
 
 // Stats is a point-in-time snapshot of engine activity.
@@ -103,6 +118,7 @@ type Engine struct {
 	// miss and a fresh computation.
 	local    Store
 	rstore   *remoteStore
+	repl     Replicator
 	mem      *Cache
 	disk     *DiskTier
 	latency  *latencyRecorder
@@ -131,6 +147,7 @@ func New(opts Options) *Engine {
 		slots:    make(chan struct{}, w),
 		local:    local,
 		rstore:   rstore,
+		repl:     opts.Replicate,
 		mem:      mem,
 		disk:     opts.Disk,
 		latency:  newLatencyRecorder(),
@@ -278,8 +295,14 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 				c.err = fmt.Errorf("engine: job %q panicked", j.Key)
 			}
 			if c.err == nil && !fromStore {
-				ps, _ := obs.StartSpan(ctx, "persist "+JobKind(j.Key), obs.A("key", j.Key))
+				ps, pctx := obs.StartSpan(ctx, "persist "+JobKind(j.Key), obs.A("key", j.Key))
 				e.local.Add(j.Key, c.val)
+				if e.repl != nil {
+					// Only freshly-computed artifacts replicate: this
+					// branch is unreachable for store hits, remote
+					// fetches, and injected pushes.
+					e.repl.Replicate(pctx, j.Key, c.val)
+				}
 				ps.End()
 			}
 			e.mu.Lock()

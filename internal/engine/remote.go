@@ -101,6 +101,44 @@ func (e *Engine) PeekMemory(key string) (any, bool) {
 	return e.mem.Recheck(key)
 }
 
+// Has reports whether the artifact under key is resident in any local
+// tier — memory, disk, or the disk tier's async-write queue — without
+// decoding, promoting, or recording stats. It answers a peer's
+// replication check (GET /v1/artifacts?check=1).
+func (e *Engine) Has(key string) bool {
+	if key == "" {
+		return false
+	}
+	if _, ok := e.mem.Recheck(key); ok {
+		return true
+	}
+	return e.disk != nil && e.disk.HasOrPending(key)
+}
+
+// Inject stores an artifact a PEER computed — the receive side of R=2
+// write-through replication — and reports whether it was stored (false
+// when the key is already resident or being computed here; the
+// in-flight leader's own persist supersedes the push, so accepting it
+// would mint a second pointer for consumers the leader already
+// served). The value lands through the tiered store like any computed
+// artifact: memory tier plus async disk write-through.
+func (e *Engine) Inject(key string, v any) bool {
+	if key == "" || v == nil {
+		return false
+	}
+	e.mu.Lock()
+	_, busy := e.inflight[key]
+	e.mu.Unlock()
+	if busy {
+		return false
+	}
+	if e.Has(key) {
+		return false
+	}
+	e.local.Add(key, v)
+	return true
+}
+
 // PeekImage returns the already-encoded disk image of a disk-resident
 // artifact (kind tag + payload) without decoding it or promoting it
 // into the memory tier. A memory-only engine, a memory-only key, or a

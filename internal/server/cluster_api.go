@@ -1,0 +1,185 @@
+// Cluster control plane: the join/leave/membership/health endpoints
+// behind live membership, and the artifact PUT/check endpoints behind
+// R=2 replication. All of it lives under /v1/cluster and /v1/artifacts
+// — none of it can alter an existing /v1 response body, which is what
+// keeps the byte-parity invariant trivially intact.
+//
+//	POST /v1/cluster/join       {"node":url} → admit node, gossip, return membership
+//	POST /v1/cluster/leave      {"node":url} → remove node, gossip, return membership
+//	GET  /v1/cluster/membership              → current epoch-numbered membership
+//	POST /v1/cluster/membership <membership> → gossip receive: adopt if newer, return ours
+//	GET  /v1/cluster/health                  → liveness + membership fingerprint (prober)
+//	PUT  /v1/artifacts?key=…                 → replication receive: store a pushed image
+//	GET  /v1/artifacts?check=1&key=…         → 204/404 residency probe (sweep pre-check)
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// errNotClustered answers cluster-control requests on a standalone
+// node.
+func errNotClustered(w http.ResponseWriter) {
+	writeError(w, http.StatusServiceUnavailable, fmt.Errorf("this node is not in cluster mode"))
+}
+
+// memberChange is the join/leave request body.
+type memberChange struct {
+	Node string `json:"node"`
+}
+
+// gossipMembership pushes ms to the rest of the cluster in the
+// background. The originator of a membership change announces it;
+// failed pushes are repaired by the prober's anti-entropy on its next
+// round, so no retry machinery is needed here.
+func (s *Server) gossipMembership(ms shard.Membership) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.cluster.Gossip(ctx, ms)
+	}()
+}
+
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		errNotClustered(w)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req memberChange
+	if err := decodeBody(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ms, changed, err := s.cluster.AddMember(req.Node)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if changed {
+		slog.Info("server: member joined", "node", req.Node, "epoch", ms.Epoch)
+		s.gossipMembership(ms)
+	}
+	writeJSON(w, http.StatusOK, ms)
+}
+
+func (s *Server) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		errNotClustered(w)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req memberChange
+	if err := decodeBody(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ms, changed, err := s.cluster.RemoveMember(req.Node)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if changed {
+		slog.Info("server: member left", "node", req.Node, "epoch", ms.Epoch)
+		s.gossipMembership(ms)
+	}
+	writeJSON(w, http.StatusOK, ms)
+}
+
+func (s *Server) handleMembershipGet(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		errNotClustered(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Membership())
+}
+
+// handleMembershipPost is the gossip receiver: adopt the pushed view
+// if newer, answer with ours either way (the sender adopts back if
+// OURS is newer — gossip is symmetric repair).
+func (s *Server) handleMembershipPost(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		errNotClustered(w)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var ms shard.Membership
+	if err := decodeBody(body, &ms); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.cluster.AdoptMembership(ms, false) {
+		slog.Info("server: adopted gossiped membership", "epoch", ms.Epoch)
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Membership())
+}
+
+func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		errNotClustered(w)
+		return
+	}
+	ms := s.cluster.Membership()
+	writeJSON(w, http.StatusOK, shard.HealthDoc{
+		OK:          true,
+		Node:        s.cluster.Self(),
+		Epoch:       ms.Epoch,
+		Hash:        ms.Hash(),
+		RingVersion: s.cluster.RingVersion(),
+	})
+}
+
+// handleArtifactPut is the replication receiver: a peer pushing an
+// artifact image it computed (write-through) or re-replicating after a
+// membership change (sweep). The image is decoded with the shared
+// codec and injected through the engine's store tiers; a key already
+// resident or mid-computation here is reported stored=false, which the
+// pusher counts as a dedupe, not an error.
+func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing key parameter"))
+		return
+	}
+	kind := r.Header.Get(shard.ArtifactKindHeader)
+	if kind == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing %s header", shard.ArtifactKindHeader))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, shard.MaxArtifactBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad artifact body: %w", err))
+		return
+	}
+	v, err := s.codec.Decode(kind, data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("undecodable %q image: %w", kind, err))
+		return
+	}
+	stored := s.eng.Inject(key, v)
+	if s.cluster != nil {
+		s.cluster.NoteReplicaReceived(stored)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Stored bool `json:"stored"`
+	}{Stored: stored})
+}

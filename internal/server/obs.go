@@ -62,9 +62,13 @@ func (w *statusWriter) Flush() {
 // traceable reports whether requests to path get a trace: all of /v1
 // except the trace-query endpoints themselves, whose requests (and the
 // stitcher's side-channel fetches) would otherwise churn the very ring
-// they are reading.
+// they are reading, and the cluster control plane, whose periodic
+// probes and gossip would drown real request traces in heartbeat
+// noise.
 func traceable(path string) bool {
-	return strings.HasPrefix(path, "/v1/") && !strings.HasPrefix(path, "/v1/traces")
+	return strings.HasPrefix(path, "/v1/") &&
+		!strings.HasPrefix(path, "/v1/traces") &&
+		!strings.HasPrefix(path, "/v1/cluster")
 }
 
 // observe wraps the route table with the observability middleware:
@@ -284,8 +288,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		mw.Counter("spmt_shard_remote_fetches_total", "Artifact images fetched from owning shards.", float64(cs.RemoteFetches))
 		mw.Counter("spmt_shard_fetch_misses_total", "Artifact fetches the owner could not serve.", float64(cs.FetchMisses))
-		mw.Counter("spmt_shard_fetch_errors_total", "Artifact fetch transport/decode failures.", float64(cs.FetchErrors))
+		for _, reason := range sortedKeys(cs.FetchErrorReasons) {
+			mw.Counter("spmt_shard_fetch_errors_total",
+				"Artifact fetch failures by cause (transport vs decode).",
+				float64(cs.FetchErrorReasons[reason]), obs.A("reason", reason))
+		}
 		mw.Counter("spmt_shard_artifacts_served_total", "Artifact images served to peers.", float64(cs.ArtifactsServed))
+
+		mw.Gauge("spmt_shard_membership_epoch", "Membership version; bumps on every join/leave.", float64(cs.Epoch))
+		mw.Gauge("spmt_shard_ring_version", "Effective-ring rebuilds (membership + suspicion changes).", float64(cs.RingVersion))
+		mw.Gauge("spmt_shard_replicas", "Configured replication factor R.", float64(cs.Replicas))
+		mw.Gauge("spmt_shard_suspects", "Members currently excluded from the effective ring.", float64(len(cs.Suspects)))
+		mw.Counter("spmt_shard_probes_total", "Health probes sent to peers.", float64(cs.Probes))
+		mw.Counter("spmt_shard_probe_failures_total", "Health probes that failed.", float64(cs.ProbeFailures))
+		mw.Counter("spmt_shard_suspicions_total", "Peers suspected after K consecutive probe failures.", float64(cs.Suspicions))
+		mw.Counter("spmt_shard_readmissions_total", "Suspected peers readmitted on probe success.", float64(cs.Readmissions))
+		mw.Counter("spmt_shard_peer_retries_total", "Transiently-failed peer calls retried against the replica.", float64(cs.PeerRetries))
+		mw.Counter("spmt_shard_peer_retry_successes_total", "Replica retries that answered.", float64(cs.PeerRetrySuccesses))
+
+		rs := cs.Replication
+		mw.Counter("spmt_shard_replication_pushed_total", "Artifact images pushed to replica owners.", float64(rs.Pushed))
+		mw.Counter("spmt_shard_replication_push_errors_total", "Failed replication pushes.", float64(rs.PushErrors))
+		mw.Counter("spmt_shard_replication_dropped_total", "Write-through pushes shed on a full queue.", float64(rs.Dropped))
+		mw.Gauge("spmt_shard_replication_pending", "Write-through pushes queued or in flight.", float64(rs.Pending))
+		mw.Counter("spmt_shard_replication_received_total", "Pushed artifact images stored from peers.", float64(rs.Received))
+		mw.Counter("spmt_shard_replication_received_duplicate_total", "Pushed images for already-resident keys.", float64(rs.ReceivedDuplicate))
+		mw.Counter("spmt_shard_replication_sweeps_total", "Completed re-replication sweeps.", float64(rs.Sweeps))
+		mw.Counter("spmt_shard_replication_sweep_keys_total", "Store keys scanned by re-replication sweeps.", float64(rs.SweepKeys))
+		mw.Counter("spmt_shard_replication_sweep_pushed_total", "Images pushed by re-replication sweeps.", float64(rs.SweepPushed))
+		mw.Counter("spmt_shard_replication_sweep_errors_total", "Check/push failures during re-replication sweeps.", float64(rs.SweepErrors))
+		mw.Gauge("spmt_shard_replication_last_sweep_epoch", "Membership epoch of the last completed sweep.", float64(rs.LastSweepEpoch))
 	}
 
 	s.httpReqs.Write(mw, "spmt_http_requests_total", "HTTP requests by endpoint pattern and status code.")

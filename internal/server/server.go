@@ -62,6 +62,7 @@ type Server struct {
 	cluster  *shard.Cluster
 	codec    engine.Codec
 	requests atomic.Uint64
+	sweep    sweeper
 
 	tracer   *obs.Tracer
 	httpReqs *obs.CounterVec   // by endpoint pattern, status code
@@ -84,7 +85,7 @@ func NewCluster(eng *engine.Engine, cl *shard.Cluster) *Server {
 	if cl != nil {
 		node = cl.Self()
 	}
-	return &Server{
+	s := &Server{
 		eng:      eng,
 		cluster:  cl,
 		codec:    codec.New(),
@@ -92,7 +93,15 @@ func NewCluster(eng *engine.Engine, cl *shard.Cluster) *Server {
 		httpReqs: obs.NewCounterVec("endpoint", "code"),
 		httpDur:  obs.NewHistogramVec(httpDurationBuckets, "endpoint"),
 	}
+	s.sweep.s = s
+	s.wireSweeper()
+	return s
 }
+
+// Close stops the server's background work (the re-replication
+// sweeper), waiting for an active sweep to finish. It does not close
+// the engine or the cluster — the caller owns those.
+func (s *Server) Close() { s.sweep.close() }
 
 // Engine returns the server's engine (for tests and embedding).
 func (s *Server) Engine() *engine.Engine { return s.eng }
@@ -110,6 +119,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/figures/{id}", s.handleFigure)
 	mux.HandleFunc("GET /v1/artifacts", s.handleArtifact)
+	mux.HandleFunc("PUT /v1/artifacts", s.handleArtifactPut)
+	mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	mux.HandleFunc("POST /v1/cluster/leave", s.handleClusterLeave)
+	mux.HandleFunc("GET /v1/cluster/membership", s.handleMembershipGet)
+	mux.HandleFunc("POST /v1/cluster/membership", s.handleMembershipPost)
+	mux.HandleFunc("GET /v1/cluster/health", s.handleClusterHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
@@ -507,6 +522,17 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	key := r.URL.Query().Get("key")
 	if key == "" {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing key parameter"))
+		return
+	}
+	// check=1 is the residency probe the re-replication sweep runs
+	// before shipping an image: 204 here means "don't push", for the
+	// cost of headers only.
+	if r.URL.Query().Get("check") == "1" {
+		if s.eng.Has(key) {
+			w.WriteHeader(http.StatusNoContent)
+		} else {
+			w.WriteHeader(http.StatusNotFound)
+		}
 		return
 	}
 	// Serve order: encode a memory-resident object; else relay the

@@ -16,6 +16,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -46,65 +47,96 @@ func forwarded(r *http.Request) bool { return r.Header.Get(shard.ForwardedHeader
 
 // routeToOwner forwards the request to the artifact key's owning shard
 // and streams the owner's response through, reporting true when the
-// response has been written. False means the caller must answer
-// locally: standalone mode, forwarded or self-owned requests, and the
-// fallback when the owner is unreachable or failing (status >= 500).
+// response has been written. A transient primary failure (transport
+// error, 5xx, death mid-body) earns ONE retry against the key's
+// replica after a jittered backoff — the node holding the warm copy
+// under R=2. False means the caller must answer locally: standalone
+// mode, forwarded or self-owned requests, and the fallback when the
+// replica set is exhausted. The response bytes are identical on every
+// path — primary, replica, or local — because every node runs the same
+// deterministic pipeline.
 func (s *Server) routeToOwner(w http.ResponseWriter, r *http.Request, key string, body []byte) bool {
 	if s.cluster == nil || forwarded(r) || key == "" {
 		return false
 	}
-	owner := s.cluster.Owner(key)
-	span, ctx := obs.StartSpan(r.Context(), "route", obs.A("key", key), obs.A("owner", owner))
+	set := s.cluster.ReplicaSet(key)
+	if len(set) == 0 {
+		return false
+	}
+	primary := set[0]
+	span, ctx := obs.StartSpan(r.Context(), "route", obs.A("key", key), obs.A("owner", primary))
 	defer span.End()
-	if owner == "" || owner == s.cluster.Self() {
+	if primary == "" || primary == s.cluster.Self() {
 		span.SetAttr("decision", "local")
 		return false
 	}
-	fallback := func(reason shard.FallbackReason) {
-		s.cluster.NoteProxyFallback(reason)
-		span.SetAttr("decision", "fallback")
-		span.SetAttr("reason", string(reason))
+	handled, reason := s.forwardTo(ctx, w, r, primary, body, span)
+	if handled {
+		span.SetAttr("decision", "proxied")
+		return true
 	}
-	resp, err := s.cluster.Forward(ctx, owner, r.Method, r.URL.RequestURI(), body)
+	if len(set) > 1 && set[1] != s.cluster.Self() {
+		// The bounded replica retry: back off (jittered), then ask the
+		// node replication keeps warm. A cancelled context skips it.
+		if s.cluster.RetrySleep(ctx, key) {
+			span.SetAttr("retry_peer", set[1])
+			retried, _ := s.forwardTo(ctx, w, r, set[1], body, span)
+			s.cluster.NoteRetry(retried)
+			if retried {
+				span.SetAttr("decision", "retried")
+				return true
+			}
+		}
+	}
+	s.cluster.NoteProxyFallback(reason)
+	span.SetAttr("decision", "fallback")
+	span.SetAttr("reason", string(reason))
+	return false
+}
+
+// forwardTo attempts one peer: forward, buffer, relay. handled=true
+// means the response has been written; otherwise reason names the
+// transient failure and nothing has been written (the body is fully
+// buffered before the first byte goes out, which is what makes a
+// second attempt — or local fallback — safe).
+func (s *Server) forwardTo(ctx context.Context, w http.ResponseWriter, r *http.Request,
+	peer string, body []byte, span *obs.Span) (handled bool, reason shard.FallbackReason) {
+	resp, err := s.cluster.Forward(ctx, peer, r.Method, r.URL.RequestURI(), body)
 	if err != nil {
-		fallback(shard.FallbackTransport)
-		slog.Warn("server: forward failed; answering locally",
-			"method", r.Method, "path", r.URL.Path, "owner", owner, "err", err,
+		slog.Warn("server: forward failed",
+			"method", r.Method, "path", r.URL.Path, "peer", peer, "err", err,
 			"trace", obs.TraceIDFrom(ctx))
-		return false
+		return false, shard.FallbackTransport
 	}
 	defer resp.Body.Close()
-	// From here the owner handled the request (and recorded its own
+	// From here the peer handled the request (and recorded its own
 	// spans under our trace ID), so the span names it as a peer for the
 	// cross-node stitcher even when we fall back.
-	span.SetAttr("peer", owner)
-	if resp.StatusCode >= http.StatusInternalServerError {
-		fallback(shard.FallbackStatus)
-		slog.Warn("server: forward answered 5xx; answering locally",
-			"method", r.Method, "path", r.URL.Path, "owner", owner, "status", resp.StatusCode,
+	span.SetAttr("peer", peer)
+	if shard.TransientStatus(resp.StatusCode) {
+		slog.Warn("server: forward answered 5xx",
+			"method", r.Method, "path", r.URL.Path, "peer", peer, "status", resp.StatusCode,
 			"trace", obs.TraceIDFrom(ctx))
-		return false
+		return false, shard.FallbackStatus
 	}
-	// Buffer the whole (bounded JSON) body before relaying: an owner
-	// dying mid-body must become a local-compute fallback, not a
-	// truncated 200 the client has no way to distinguish from success.
-	// The read is capped so a misbehaving owner streaming garbage
-	// becomes a fallback too, not an entry-node OOM.
+	// Buffer the whole (bounded JSON) body before relaying: a peer
+	// dying mid-body must become a retry or local-compute fallback, not
+	// a truncated 200 the client has no way to distinguish from
+	// success. The read is capped so a misbehaving peer streaming
+	// garbage becomes a fallback too, not an entry-node OOM.
 	out, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBodyBytes+1))
 	if err != nil || len(out) > maxProxyBodyBytes {
-		fallback(shard.FallbackBody)
-		slog.Warn("server: forward died mid-body; answering locally",
-			"method", r.Method, "path", r.URL.Path, "owner", owner, "bytes", len(out), "err", err,
+		slog.Warn("server: forward died mid-body",
+			"method", r.Method, "path", r.URL.Path, "peer", peer, "bytes", len(out), "err", err,
 			"trace", obs.TraceIDFrom(ctx))
-		return false
+		return false, shard.FallbackBody
 	}
-	span.SetAttr("decision", "proxied")
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	w.WriteHeader(resp.StatusCode)
 	w.Write(out) //nolint:errcheck // client went away
-	return true
+	return true, ""
 }
 
 // batchLine is one merged NDJSON result line of a sharded batch. Field
@@ -207,9 +239,12 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 	}
 
 	// runRemote streams one owner's sub-batch, remapping its indices
-	// into the request's. Anything not received intact — unreachable
-	// owner, non-200, truncated stream, remote error line — is
-	// recomputed locally for byte-exact output.
+	// into the request's. A sub-stream that transiently fails before
+	// delivering a single line is retried ONCE against the group's
+	// replica (any node answers byte-identically; the replica is the
+	// one replication keeps warm). Anything still not received intact —
+	// unreachable owners, non-200, truncated stream, remote error
+	// line — is recomputed locally for byte-exact output.
 	runRemote := func(owner string, idxs []int) {
 		span, fctx := obs.StartSpan(ctx, "fanout",
 			obs.A("owner", owner), obs.A("specs", strconv.Itoa(len(idxs))))
@@ -223,27 +258,25 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 			runLocal(idxs)
 			return
 		}
-		s.cluster.NoteBatchFanout()
 		got := make([]bool, len(idxs))
-		// reason tracks why specs (if any) end up missing: a stream that
-		// came back incomplete unless the forward itself failed first.
-		reason := shard.FallbackStream
-		resp, err := s.cluster.Forward(fctx, owner, http.MethodPost, "/v1/batch", body)
-		switch {
-		case err != nil:
-			reason = shard.FallbackTransport
-			s.cluster.NoteProxyFallback(reason)
-			slog.Warn("server: batch fan-out unreachable; recomputing locally",
-				"owner", owner, "specs", len(idxs), "err", err, "trace", obs.TraceIDFrom(fctx))
-		case resp.StatusCode != http.StatusOK:
-			resp.Body.Close()
-			span.SetAttr("peer", owner)
-			reason = shard.FallbackStatus
-			s.cluster.NoteProxyFallback(reason)
-			slog.Warn("server: batch fan-out rejected; recomputing locally",
-				"owner", owner, "specs", len(idxs), "status", resp.StatusCode, "trace", obs.TraceIDFrom(fctx))
-		default:
-			span.SetAttr("peer", owner)
+		received := 0
+		// stream attempts one peer; reason is "" when the sub-stream
+		// arrived complete.
+		stream := func(peer string) shard.FallbackReason {
+			s.cluster.NoteBatchFanout()
+			resp, err := s.cluster.Forward(fctx, peer, http.MethodPost, "/v1/batch", body)
+			if err != nil {
+				slog.Warn("server: batch fan-out unreachable",
+					"peer", peer, "specs", len(idxs), "err", err, "trace", obs.TraceIDFrom(fctx))
+				return shard.FallbackTransport
+			}
+			span.SetAttr("peer", peer)
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				slog.Warn("server: batch fan-out rejected",
+					"peer", peer, "specs", len(idxs), "status", resp.StatusCode, "trace", obs.TraceIDFrom(fctx))
+				return shard.FallbackStatus
+			}
 			dec := json.NewDecoder(resp.Body)
 			for {
 				var wl wireBatchLine
@@ -257,9 +290,35 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 					continue // recompute locally: deterministic failures reproduce, transient ones vanish
 				}
 				got[wl.Index] = true
+				received++
 				slots[idxs[wl.Index]] <- line{result: wl.Result}
 			}
 			resp.Body.Close()
+			if received < len(idxs) {
+				return shard.FallbackStream
+			}
+			return ""
+		}
+		reason := stream(owner)
+		if reason != "" {
+			s.cluster.NoteProxyFallback(reason)
+			// Retry the whole sub-batch against the replica only when
+			// NOTHING arrived: a partially-delivered stream means the
+			// owner was up and the missing specs likely failed
+			// deterministically — recompute those locally instead of
+			// replaying delivered work on another node.
+			if received == 0 && len(idxs) > 0 {
+				rset := s.cluster.ReplicaSet(expt.SimKey(sz, resolved[idxs[0]]))
+				if len(rset) > 1 && rset[1] != s.cluster.Self() && rset[1] != owner &&
+					s.cluster.RetrySleep(fctx, "batch/"+rset[1]) {
+					span.SetAttr("retry_peer", rset[1])
+					r2 := stream(rset[1])
+					s.cluster.NoteRetry(r2 == "")
+					if r2 == "" {
+						reason = ""
+					}
+				}
+			}
 		}
 		var missing []int
 		for j, ok := range got {
@@ -268,6 +327,9 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 			}
 		}
 		if len(missing) > 0 {
+			if reason == "" {
+				reason = shard.FallbackStream
+			}
 			s.cluster.NoteBatchFallback(len(missing), reason)
 			span.SetAttr("fallback_specs", strconv.Itoa(len(missing)))
 			span.SetAttr("reason", string(reason))

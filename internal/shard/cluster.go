@@ -1,7 +1,10 @@
 // Cluster state and the HTTP peer client: forwarding whole requests to
-// a key's owner and fetching individual artifact images between
-// shards. All counters are atomic; one Cluster is shared by the server
-// handlers and the engine's remote-fetch hook.
+// a key's owner, exchanging individual artifact images between shards
+// (pull on store miss, push for R=2 write-through replication), and
+// the control-plane calls behind live membership (join, leave, gossip,
+// health). All counters are atomic; one Cluster is shared by the
+// server handlers, the engine's remote-fetch hook, the write-through
+// replicator, and the health prober.
 package shard
 
 import (
@@ -29,13 +32,25 @@ import (
 const ForwardedHeader = "X-Spmt-Forwarded"
 
 // ArtifactKindHeader carries the codec kind tag of an artifact image
-// served by GET /v1/artifacts.
+// served by GET /v1/artifacts (and pushed by PUT /v1/artifacts).
 const ArtifactKindHeader = "X-Spmt-Artifact-Kind"
 
-// maxArtifactBytes bounds one fetched artifact image (traces dominate;
-// a full-size trace is tens of MB). Guards the fetcher against a
-// misbehaving peer, not against legitimate artifacts.
-const maxArtifactBytes = 1 << 31
+// MaxArtifactBytes bounds one fetched or pushed artifact image (traces
+// dominate; a full-size trace is tens of MB). Guards against a
+// misbehaving peer, not against legitimate artifacts. 1<<31 - 1 rather
+// than 1<<31: the bound must stay a representable int on 32-bit
+// builds, where 1<<31 overflows.
+const MaxArtifactBytes = 1<<31 - 1
+
+// maxBodyLimit bounds a control-plane JSON body (membership views,
+// health documents — all tiny).
+const maxBodyLimit = 1 << 20
+
+// DefaultReplicas is the replication factor R when Options leaves it
+// zero: every key has a primary and one next-distinct-node replica, so
+// any single member loss leaves every previously-computed artifact
+// warm somewhere.
+const DefaultReplicas = 2
 
 // FallbackReason distinguishes why a proxied request or fanned-out
 // sub-batch was answered by local compute instead of its owner. The
@@ -59,13 +74,41 @@ const (
 	FallbackStream FallbackReason = "stream"
 )
 
+// FetchErrorReason splits artifact-fetch failures the way proxy
+// fallbacks already are: a transport failure (unreachable peer, bad
+// status, missing kind header) degrades differently from a decode
+// failure (the peer is up but shipping corrupt images).
+type FetchErrorReason string
+
+const (
+	FetchErrTransport FetchErrorReason = "transport"
+	FetchErrDecode    FetchErrorReason = "decode"
+)
+
 // Options configures a Cluster.
 type Options struct {
 	// VNodes is the virtual-node count per member (<= 0 selects
 	// DefaultVNodes).
 	VNodes int
-	// FetchTimeout bounds one artifact-image fetch (default 30s).
+	// Replicas is the replication factor R: each key is owned by its
+	// primary plus R-1 next-distinct ring nodes, write-through pushes
+	// artifacts to all of them, and degraded reads walk the set in
+	// order (<= 0 selects DefaultReplicas; 1 disables replication).
+	Replicas int
+	// FetchTimeout bounds one artifact-image fetch or push (default
+	// 30s).
 	FetchTimeout time.Duration
+	// DialTimeout bounds the connect phase of every peer call (default
+	// 5s).
+	DialTimeout time.Duration
+	// CtlTimeout bounds one control-plane call — gossip, join, leave,
+	// membership pull (default 5s). Health probes carry their own
+	// per-probe deadline (ProberOptions.Timeout).
+	CtlTimeout time.Duration
+	// RetryBackoff is the base delay before the single bounded retry a
+	// transiently-failed peer call gets against the key's replica; the
+	// actual delay is jittered in [base/2, base) (default 50ms).
+	RetryBackoff time.Duration
 	// ProxyHeaderTimeout bounds how long a forwarded request waits for
 	// the owner's response HEADERS (default 5m) — the guard against an
 	// owner that is wedged but still accepting connections. Forwarded
@@ -78,12 +121,63 @@ type Options struct {
 	ProxyHeaderTimeout time.Duration
 }
 
+// ReplicationStats is the R=2 write-through and re-replication view,
+// exposed under shard.replication in /v1/stats.
+type ReplicationStats struct {
+	// Pushed counts artifact images pushed to replica owners (write-
+	// through and sweep combined); PushErrors counts failed pushes;
+	// PushSkipped counts sweep pushes skipped because the target
+	// already held the key; Dropped counts write-through pushes shed
+	// because the async queue was full (a later sweep repairs them).
+	Pushed      uint64 `json:"pushed"`
+	PushErrors  uint64 `json:"push_errors"`
+	PushSkipped uint64 `json:"push_skipped"`
+	Dropped     uint64 `json:"dropped"`
+	// Pending gauges write-through pushes accepted but not yet
+	// delivered (queued + in flight) — zero means replication has
+	// quiesced.
+	Pending int64 `json:"pending"`
+	// Received counts images peers pushed to this node and stored;
+	// ReceivedDuplicate counts pushes for keys already resident.
+	Received          uint64 `json:"received"`
+	ReceivedDuplicate uint64 `json:"received_duplicate"`
+	// Sweeps counts completed re-replication sweeps; SweepKeys the
+	// store keys they scanned; SweepPushed/SweepErrors their push
+	// outcomes; LastSweepEpoch the membership epoch of the most recent
+	// completed sweep.
+	Sweeps         uint64 `json:"sweeps"`
+	SweepKeys      uint64 `json:"sweep_keys"`
+	SweepPushed    uint64 `json:"sweep_pushed"`
+	SweepErrors    uint64 `json:"sweep_errors"`
+	LastSweepEpoch uint64 `json:"last_sweep_epoch"`
+}
+
 // Stats is a point-in-time snapshot of one node's shard activity,
 // exposed under "shard" in /v1/stats.
 type Stats struct {
 	Self    string   `json:"self"`
 	Members []string `json:"members"`
 	VNodes  int      `json:"vnodes"`
+	// Epoch is the membership version; RingVersion counts effective-
+	// ring rebuilds (membership changes plus suspicion/readmission) —
+	// the stat timing-sensitive tests poll instead of sleeping.
+	// Suspects lists members currently excluded from the effective
+	// ring by the health prober.
+	Epoch       uint64   `json:"epoch"`
+	RingVersion uint64   `json:"ring_version"`
+	Replicas    int      `json:"replicas"`
+	Suspects    []string `json:"suspects,omitempty"`
+	// Probes/ProbeFailures count health probes sent and failed;
+	// Suspicions/Readmissions count effective-ring exclusions and
+	// recoveries.
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	Suspicions    uint64 `json:"suspicions"`
+	Readmissions  uint64 `json:"readmissions"`
+	// PeerRetries counts transiently-failed peer calls retried against
+	// the key's replica; PeerRetrySuccesses the retries that answered.
+	PeerRetries        uint64 `json:"peer_retries"`
+	PeerRetrySuccesses uint64 `json:"peer_retry_successes"`
 	// Proxied counts requests forwarded to their owning shard;
 	// ProxyFallbacks counts forwards that failed and were answered by
 	// local compute instead (degraded-cluster path), with
@@ -101,23 +195,43 @@ type Stats struct {
 	// RemoteFetches counts artifact images fetched from owning shards
 	// on store miss; FetchMisses counts fetch attempts the owner could
 	// not serve (it had not computed the artifact either);
-	// FetchErrors counts transport/decode failures.
-	RemoteFetches uint64 `json:"remote_fetches"`
-	FetchMisses   uint64 `json:"fetch_misses"`
-	FetchErrors   uint64 `json:"fetch_errors"`
+	// FetchErrors counts transport/decode failures in total, split by
+	// FetchErrorReason in FetchErrorReasons.
+	RemoteFetches     uint64            `json:"remote_fetches"`
+	FetchMisses       uint64            `json:"fetch_misses"`
+	FetchErrors       uint64            `json:"fetch_errors"`
+	FetchErrorReasons map[string]uint64 `json:"fetch_error_reasons,omitempty"`
 	// ArtifactsServed counts artifact images this node served to
 	// peers.
 	ArtifactsServed uint64 `json:"artifacts_served"`
+	// Replication is the R=2 write-through / sweep view.
+	Replication ReplicationStats `json:"replication"`
 }
 
-// Cluster is one node's view of the shard cluster: the (fixed) member
-// ring, this node's own URL, and the peer HTTP client. Safe for
+// Cluster is one node's view of the shard cluster: the live member
+// ring, this node's own URL, and the peer HTTP clients. Safe for
 // concurrent use.
 type Cluster struct {
-	self  string
-	ring  *Ring
-	proxy *http.Client
-	fetch *http.Client
+	self         string
+	vnodes       int
+	replicas     int
+	retryBackoff time.Duration
+	proxy        *http.Client
+	fetch        *http.Client
+	ctl          *http.Client
+
+	// mu guards the membership view: the member list, the full ring
+	// over it, the suspect set, and the effective ring (full minus
+	// suspects) that ownership and replica placement actually use.
+	mu        sync.RWMutex
+	epoch     uint64
+	members   []string
+	suspects  map[string]bool
+	full      *Ring
+	effective *Ring
+	onChange  func(ChangeReason)
+
+	ringVersion atomic.Uint64
 
 	proxied            atomic.Uint64
 	proxyFallbacks     atomic.Uint64
@@ -128,12 +242,33 @@ type Cluster struct {
 	fetchErrors        atomic.Uint64
 	artifactsServed    atomic.Uint64
 
+	probes        atomic.Uint64
+	probeFailures atomic.Uint64
+	suspicions    atomic.Uint64
+	readmissions  atomic.Uint64
+	retries       atomic.Uint64
+	retryHits     atomic.Uint64
+
+	replPushed      atomic.Uint64
+	replPushErrors  atomic.Uint64
+	replPushSkipped atomic.Uint64
+	replDropped     atomic.Uint64
+	replPending     atomic.Int64
+	replReceived    atomic.Uint64
+	replDuplicate   atomic.Uint64
+	sweeps          atomic.Uint64
+	sweepKeys       atomic.Uint64
+	sweepPushed     atomic.Uint64
+	sweepErrors     atomic.Uint64
+	lastSweepEpoch  atomic.Uint64
+
 	// Reason splits are mutex-guarded maps rather than per-reason
 	// atomics: fallbacks are the degraded path, orders of magnitude
 	// rarer than the atomic counters above.
 	reasonMu            sync.Mutex
 	proxyFallbackReason map[FallbackReason]uint64
 	batchFallbackReason map[FallbackReason]uint64
+	fetchErrorReason    map[FetchErrorReason]uint64
 }
 
 // normalizeNode validates and canonicalises one member URL.
@@ -149,11 +284,13 @@ func normalizeNode(raw string) (string, error) {
 	return s, nil
 }
 
-// New builds one node's cluster view. self must appear in members
-// (URLs are compared after trimming trailing slashes); every node of
-// the cluster must be configured with the same member list, or their
-// ownership maps disagree and requests bounce through the forwarded
-// fallback instead of being served by their owner.
+// New builds one node's cluster view over the boot-time member list
+// (membership epoch 1). self must appear in members (URLs are compared
+// after trimming trailing slashes). Unlike the frozen-ring versions of
+// this package, members is only the STARTING view: joins, leaves, and
+// gossip move it forward, and the health prober may temporarily
+// exclude unresponsive peers from the effective ring. A node booting
+// with only itself can acquire the rest via JoinVia.
 func New(self string, members []string, opts Options) (*Cluster, error) {
 	selfN, err := normalizeNode(self)
 	if err != nil {
@@ -178,47 +315,107 @@ func New(self string, members []string, opts Options) (*Cluster, error) {
 	if opts.ProxyHeaderTimeout <= 0 {
 		opts.ProxyHeaderTimeout = 5 * time.Minute
 	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.CtlTimeout <= 0 {
+		opts.CtlTimeout = 5 * time.Second
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = DefaultReplicas
+	}
+	vn := opts.VNodes
+	if vn <= 0 {
+		vn = DefaultVNodes
+	}
 	// Forwards carry no overall timeout (the owner may legitimately
 	// compute for minutes), but the connect and header phases must be
 	// bounded: a partitioned owner that drops packets, or one that is
 	// wedged while its socket keeps accepting, would otherwise stall a
 	// routed request indefinitely instead of triggering the
-	// local-compute fallback.
-	dial := (&net.Dialer{Timeout: 5 * time.Second}).DialContext
-	return &Cluster{
+	// local-compute fallback. Fetches, pushes, and control-plane calls
+	// additionally carry explicit total deadlines — they move bounded
+	// payloads.
+	dial := (&net.Dialer{Timeout: opts.DialTimeout}).DialContext
+	c := &Cluster{
 		self:                selfN,
+		vnodes:              vn,
+		replicas:            opts.Replicas,
+		retryBackoff:        opts.RetryBackoff,
+		suspects:            make(map[string]bool),
 		proxyFallbackReason: make(map[FallbackReason]uint64),
 		batchFallbackReason: make(map[FallbackReason]uint64),
-		ring:                NewRing(norm, opts.VNodes),
+		fetchErrorReason:    make(map[FetchErrorReason]uint64),
 		proxy: &http.Client{Transport: &http.Transport{
 			DialContext:           dial,
 			ResponseHeaderTimeout: opts.ProxyHeaderTimeout,
 		}},
 		fetch: &http.Client{Transport: &http.Transport{DialContext: dial}, Timeout: opts.FetchTimeout},
-	}, nil
+		ctl:   &http.Client{Transport: &http.Transport{DialContext: dial}, Timeout: opts.CtlTimeout},
+	}
+	c.epoch = 1
+	c.members = NewRing(norm, 1).Nodes() // sorted, deduped
+	c.rebuildLocked()
+	return c, nil
 }
 
 // Self returns this node's URL.
 func (c *Cluster) Self() string { return c.self }
 
-// Members returns the member URLs, sorted.
-func (c *Cluster) Members() []string { return c.ring.Nodes() }
+// Members returns the current member URLs, sorted.
+func (c *Cluster) Members() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.full.Nodes()
+}
 
-// Ring returns the ownership ring.
-func (c *Cluster) Ring() *Ring { return c.ring }
+// Ring returns the current EFFECTIVE ownership ring (members minus
+// suspects). The returned ring is immutable; callers needing a
+// consistent multi-key view should hold onto one snapshot.
+func (c *Cluster) Ring() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.effective
+}
 
-// Owner returns the node owning the artifact key.
-func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+// Owner returns the node owning the artifact key on the effective
+// ring.
+func (c *Cluster) Owner(key string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.effective.Owner(key)
+}
 
 // Owns reports whether this node owns the artifact key.
-func (c *Cluster) Owns(key string) bool { return c.ring.Owner(key) == c.self }
+func (c *Cluster) Owns(key string) bool { return c.Owner(key) == c.self }
+
+// RetryBackoff returns the base delay for the bounded replica retry.
+func (c *Cluster) RetryBackoff() time.Duration { return c.retryBackoff }
 
 // Stats snapshots the shard counters.
 func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	members := c.full.Nodes()
+	epoch := c.epoch
+	vnodes := c.vnodes
+	c.mu.RUnlock()
 	s := Stats{
 		Self:               c.self,
-		Members:            c.ring.Nodes(),
-		VNodes:             c.ring.VNodes(),
+		Members:            members,
+		VNodes:             vnodes,
+		Epoch:              epoch,
+		RingVersion:        c.ringVersion.Load(),
+		Replicas:           c.replicas,
+		Suspects:           c.Suspects(),
+		Probes:             c.probes.Load(),
+		ProbeFailures:      c.probeFailures.Load(),
+		Suspicions:         c.suspicions.Load(),
+		Readmissions:       c.readmissions.Load(),
+		PeerRetries:        c.retries.Load(),
+		PeerRetrySuccesses: c.retryHits.Load(),
 		Proxied:            c.proxied.Load(),
 		ProxyFallbacks:     c.proxyFallbacks.Load(),
 		BatchFanouts:       c.batchFanouts.Load(),
@@ -227,6 +424,23 @@ func (c *Cluster) Stats() Stats {
 		FetchMisses:        c.fetchMisses.Load(),
 		FetchErrors:        c.fetchErrors.Load(),
 		ArtifactsServed:    c.artifactsServed.Load(),
+		Replication: ReplicationStats{
+			Pushed:            c.replPushed.Load(),
+			PushErrors:        c.replPushErrors.Load(),
+			PushSkipped:       c.replPushSkipped.Load(),
+			Dropped:           c.replDropped.Load(),
+			Pending:           c.replPending.Load(),
+			Received:          c.replReceived.Load(),
+			ReceivedDuplicate: c.replDuplicate.Load(),
+			Sweeps:            c.sweeps.Load(),
+			SweepKeys:         c.sweepKeys.Load(),
+			SweepPushed:       c.sweepPushed.Load(),
+			SweepErrors:       c.sweepErrors.Load(),
+			LastSweepEpoch:    c.lastSweepEpoch.Load(),
+		},
+	}
+	if len(s.Suspects) == 0 {
+		s.Suspects = nil
 	}
 	c.reasonMu.Lock()
 	if len(c.proxyFallbackReason) > 0 {
@@ -239,6 +453,12 @@ func (c *Cluster) Stats() Stats {
 		s.BatchFallbackReasons = make(map[string]uint64, len(c.batchFallbackReason))
 		for r, n := range c.batchFallbackReason {
 			s.BatchFallbackReasons[string(r)] = n
+		}
+	}
+	if len(c.fetchErrorReason) > 0 {
+		s.FetchErrorReasons = make(map[string]uint64, len(c.fetchErrorReason))
+		for r, n := range c.fetchErrorReason {
+			s.FetchErrorReasons[string(r)] = n
 		}
 	}
 	c.reasonMu.Unlock()
@@ -270,6 +490,44 @@ func (c *Cluster) NoteBatchFallback(n int, reason FallbackReason) {
 // NoteArtifactServed records one artifact image served to a peer.
 func (c *Cluster) NoteArtifactServed() { c.artifactsServed.Add(1) }
 
+// NoteFetchError records one artifact-fetch failure by cause.
+func (c *Cluster) NoteFetchError(reason FetchErrorReason) {
+	c.fetchErrors.Add(1)
+	c.reasonMu.Lock()
+	c.fetchErrorReason[reason]++
+	c.reasonMu.Unlock()
+}
+
+// NoteRetry records one bounded replica retry; hit reports whether it
+// answered.
+func (c *Cluster) NoteRetry(hit bool) {
+	c.retries.Add(1)
+	if hit {
+		c.retryHits.Add(1)
+	}
+}
+
+// NoteReplicaReceived records one pushed artifact image accepted
+// (stored) or deduplicated (already resident).
+func (c *Cluster) NoteReplicaReceived(stored bool) {
+	if stored {
+		c.replReceived.Add(1)
+	} else {
+		c.replDuplicate.Add(1)
+	}
+}
+
+// NoteSweep records one completed re-replication sweep over the given
+// membership epoch.
+func (c *Cluster) NoteSweep(epoch uint64, keys, pushed, skipped, errors uint64) {
+	c.sweeps.Add(1)
+	c.sweepKeys.Add(keys)
+	c.sweepPushed.Add(pushed)
+	c.replPushSkipped.Add(skipped)
+	c.sweepErrors.Add(errors)
+	c.lastSweepEpoch.Store(epoch)
+}
+
 // setTraceHeader propagates the context's trace ID onto an
 // intra-cluster request, so the spans the peer records land in the
 // same trace the entry node started and the stitcher can find them.
@@ -283,7 +541,7 @@ func setTraceHeader(ctx context.Context, req *http.Request) {
 // path-and-query, marked with ForwardedHeader so the receiver computes
 // locally. The caller owns the returned response and must close its
 // body; a nil response with an error means the node was unreachable
-// and the caller should fall back to local compute.
+// and the caller should fall back to the replica or local compute.
 func (c *Cluster) Forward(ctx context.Context, node, method, pathQuery string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, node+pathQuery, bytes.NewReader(body))
 	if err != nil {
@@ -303,7 +561,7 @@ func (c *Cluster) Forward(ctx context.Context, node, method, pathQuery string, b
 }
 
 // GetJSON fetches node's path and decodes the JSON response into v
-// (used by the cluster-aggregate stats view).
+// (used by the cluster-aggregate stats view and membership pulls).
 func (c *Cluster) GetJSON(ctx context.Context, node, path string, v any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+path, nil)
 	if err != nil {
@@ -319,7 +577,7 @@ func (c *Cluster) GetJSON(ctx context.Context, node, path string, v any) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("shard: %s%s: status %d", node, path, resp.StatusCode)
 	}
-	return json.NewDecoder(io.LimitReader(resp.Body, maxArtifactBytes)).Decode(v)
+	return json.NewDecoder(io.LimitReader(resp.Body, MaxArtifactBytes)).Decode(v)
 }
 
 // FetchArtifact asks node for the encoded image of the artifact under
@@ -349,9 +607,103 @@ func (c *Cluster) FetchArtifact(ctx context.Context, node, key string) (kind str
 	if kind == "" {
 		return "", nil, false, fmt.Errorf("shard: fetch %q from %s: missing %s header", key, node, ArtifactKindHeader)
 	}
-	data, err = io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes))
+	data, err = io.ReadAll(io.LimitReader(resp.Body, MaxArtifactBytes))
 	if err != nil {
 		return "", nil, false, err
 	}
 	return kind, data, true, nil
+}
+
+// CheckArtifact asks node whether it holds the artifact under key —
+// the header-only probe the re-replication sweep runs before shipping
+// an image, so an already-replicated key costs one round trip and no
+// payload.
+func (c *Cluster) CheckArtifact(ctx context.Context, node, key string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		node+"/v1/artifacts?check=1&key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	setTraceHeader(ctx, req)
+	resp, err := c.fetch.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("shard: check %q on %s: status %d", key, node, resp.StatusCode)
+	}
+}
+
+// PushArtifact ships an encoded artifact image to node (the R=2
+// write-through and re-replication transport; the receiving side is
+// PUT /v1/artifacts). stored=false with a nil error means the node
+// already held the key.
+func (c *Cluster) PushArtifact(ctx context.Context, node, key, kind string, data []byte) (stored bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		node+"/v1/artifacts?key="+url.QueryEscape(key), bytes.NewReader(data))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	req.Header.Set(ArtifactKindHeader, kind)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	setTraceHeader(ctx, req)
+	resp, err := c.fetch.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("shard: push %q to %s: status %d", key, node, resp.StatusCode)
+	}
+	var out struct {
+		Stored bool `json:"stored"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyLimit)).Decode(&out); err != nil {
+		return false, fmt.Errorf("shard: push %q to %s: %w", key, node, err)
+	}
+	return out.Stored, nil
+}
+
+// HealthDoc is the GET /v1/cluster/health body: liveness plus the
+// membership fingerprint the prober compares for anti-entropy.
+type HealthDoc struct {
+	OK          bool   `json:"ok"`
+	Node        string `json:"node"`
+	Epoch       uint64 `json:"epoch"`
+	Hash        string `json:"hash"`
+	RingVersion uint64 `json:"ring_version"`
+}
+
+// ProbeHealth performs one health probe against node, bounded by the
+// context's deadline.
+func (c *Cluster) ProbeHealth(ctx context.Context, node string) (HealthDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+healthPath, nil)
+	if err != nil {
+		return HealthDoc{}, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.ctl.Do(req)
+	if err != nil {
+		return HealthDoc{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return HealthDoc{}, fmt.Errorf("shard: probe %s: status %d", node, resp.StatusCode)
+	}
+	var doc HealthDoc
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyLimit)).Decode(&doc); err != nil {
+		return HealthDoc{}, err
+	}
+	if !doc.OK {
+		return doc, fmt.Errorf("shard: probe %s: not ok", node)
+	}
+	return doc, nil
 }

@@ -43,35 +43,63 @@ func NewFetcher(cluster *Cluster, codec engine.Codec) *Fetcher {
 	return &Fetcher{cluster: cluster, codec: codec}
 }
 
-// Fetch asks the key's owning shard for the artifact image and decodes
-// it. Any failure — unreachable owner, owner miss, corrupt image — is
-// reported as a miss so the engine simply computes the artifact
-// locally; a degraded cluster loses transfer efficiency, never
-// answers.
+// Fetch walks the key's replica set — primary first, then each
+// replica — asking each peer for the artifact image and decoding the
+// first answer. Any exhausted attempt — unreachable owners, owner
+// misses, corrupt images — is reported as a miss so the engine simply
+// computes the artifact locally; a degraded cluster loses transfer
+// efficiency, never answers.
 //
 // The caller's context contributes trace identity only: the network
-// call runs detached from its cancellation (context.WithoutCancel),
+// calls run detached from its cancellation (context.WithoutCancel),
 // because the engine shares one in-flight fetch between every
 // concurrent miss on the key — the first caller hanging up must not
 // kill the fetch the others are still waiting on. The fetch client's
-// own FetchTimeout bounds it instead.
+// own FetchTimeout bounds each attempt instead.
 func (f *Fetcher) Fetch(ctx context.Context, key string) (any, bool) {
 	kind := engine.JobKind(key)
 	if !fetchableKinds[kind] {
 		return nil, false
 	}
-	owner := f.cluster.Owner(key)
-	if owner == "" || owner == f.cluster.Self() {
+	peers := make([]string, 0, f.cluster.Replicas())
+	for _, n := range f.cluster.ReplicaSet(key) {
+		if n != f.cluster.Self() {
+			peers = append(peers, n)
+		}
+	}
+	if len(peers) == 0 {
 		return nil, false
 	}
-	span, ctx := obs.StartSpan(ctx, "fetch "+kind, obs.A("key", key), obs.A("peer", owner))
+	span, ctx := obs.StartSpan(ctx, "fetch "+kind, obs.A("key", key))
 	defer span.End()
-	wireKind, data, ok, err := f.cluster.FetchArtifact(context.WithoutCancel(ctx), owner, key)
+	nctx := context.WithoutCancel(ctx)
+	for i, peer := range peers {
+		if v, ok := f.fetchFrom(nctx, span, key, peer, i > 0); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// fetchFrom attempts one peer. retried marks replica attempts (every
+// peer after the first) for the retry counters.
+func (f *Fetcher) fetchFrom(ctx context.Context, span *obs.Span, key, peer string, retried bool) (any, bool) {
+	if retried {
+		// The primary failed or missed; this is the bounded replica
+		// retry, so back off first and count it.
+		if !f.cluster.RetrySleep(ctx, key) {
+			return nil, false
+		}
+	}
+	wireKind, data, ok, err := f.cluster.FetchArtifact(ctx, peer, key)
+	if retried {
+		f.cluster.NoteRetry(err == nil && ok)
+	}
 	if err != nil {
-		f.cluster.fetchErrors.Add(1)
+		f.cluster.NoteFetchError(FetchErrTransport)
 		span.SetAttr("outcome", "error")
-		slog.Warn("shard: artifact fetch failed; computing locally",
-			"key", key, "peer", owner, "err", err, "trace", obs.TraceIDFrom(ctx))
+		slog.Warn("shard: artifact fetch failed",
+			"key", key, "peer", peer, "err", err, "trace", obs.TraceIDFrom(ctx))
 		return nil, false
 	}
 	if !ok {
@@ -81,14 +109,15 @@ func (f *Fetcher) Fetch(ctx context.Context, key string) (any, bool) {
 	}
 	v, err := f.codec.Decode(wireKind, data)
 	if err != nil {
-		f.cluster.fetchErrors.Add(1)
+		f.cluster.NoteFetchError(FetchErrDecode)
 		span.SetAttr("outcome", "error")
-		slog.Warn("shard: fetched artifact image undecodable; computing locally",
-			"key", key, "kind", wireKind, "peer", owner, "err", err, "trace", obs.TraceIDFrom(ctx))
+		slog.Warn("shard: fetched artifact image undecodable",
+			"key", key, "kind", wireKind, "peer", peer, "err", err, "trace", obs.TraceIDFrom(ctx))
 		return nil, false
 	}
 	f.cluster.remoteFetches.Add(1)
 	span.SetAttr("outcome", "hit")
+	span.SetAttr("peer", peer)
 	span.SetAttr("bytes", strconv.Itoa(len(data)))
 	return v, true
 }

@@ -84,17 +84,23 @@ func TestFetcherWireContract(t *testing.T) {
 	if _, ok := f.Fetch(context.Background(), peerKey("reach/corrupt/")); ok {
 		t.Error("corrupt image must report a miss, not a decoded value")
 	}
-	if _, ok := f.Fetch(context.Background(), selfKey("reach/warm/")); ok {
-		t.Error("self-owned keys must never be fetched")
+	// Under R=2 a key this node owns still has the peer in its replica
+	// set, and a local miss consults it — the path that serves a
+	// freshly-joined node's moved-arc keys warm from their old owner.
+	if _, ok := f.Fetch(context.Background(), selfKey("reach/warm/")); !ok {
+		t.Error("a self-owned key must fall through to its warm replica")
 	}
 	if _, ok := f.Fetch(context.Background(), peerKey("bench/composite/")); ok {
 		t.Error("non-fetchable kinds must not cross the wire")
 	}
 
 	st := cl.Stats()
-	if st.RemoteFetches != 1 || st.FetchMisses != 1 || st.FetchErrors != 1 {
-		t.Errorf("stats = fetches %d, misses %d, errors %d; want 1, 1, 1",
+	if st.RemoteFetches != 2 || st.FetchMisses != 1 || st.FetchErrors != 1 {
+		t.Errorf("stats = fetches %d, misses %d, errors %d; want 2, 1, 1",
 			st.RemoteFetches, st.FetchMisses, st.FetchErrors)
+	}
+	if st.FetchErrorReasons["decode"] != 1 || st.FetchErrorReasons["transport"] != 0 {
+		t.Errorf("fetch error reasons = %v; want exactly one decode", st.FetchErrorReasons)
 	}
 
 	// Unreachable owner: every key must degrade to a miss, not a wedge.

@@ -1,0 +1,144 @@
+// The health prober: a background loop that probes every peer's
+// /v1/cluster/health on a fixed interval, suspects a peer after K
+// consecutive failures (temporary effective-ring exclusion — see
+// membership.go), and readmits it on the first success. A dead node
+// thus stops receiving proxies within roughly Interval*Failures
+// instead of costing every routed request a transport timeout.
+//
+// The probe doubles as membership anti-entropy: the health document
+// carries the peer's epoch and member-set hash, and any mismatch
+// triggers a PullMembership — so a node that missed a gossip round
+// converges within one probe interval without a dedicated repair
+// protocol.
+package shard
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// ProberOptions configures a Prober.
+type ProberOptions struct {
+	// Interval between probe rounds (default 2s).
+	Interval time.Duration
+	// Timeout bounds one probe call (default 1s).
+	Timeout time.Duration
+	// Failures is K: consecutive probe failures before a peer is
+	// suspected (default 3).
+	Failures int
+}
+
+// Prober drives the periodic health-probe loop for one cluster node.
+type Prober struct {
+	cl   *Cluster
+	opts ProberOptions
+
+	mu    sync.Mutex
+	fails map[string]int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// StartProber launches the probe loop and returns its handle. Close
+// stops it.
+func StartProber(cl *Cluster, opts ProberOptions) *Prober {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = time.Second
+	}
+	if opts.Failures <= 0 {
+		opts.Failures = 3
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Prober{
+		cl:     cl,
+		opts:   opts,
+		fails:  make(map[string]int),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go p.run(ctx)
+	return p
+}
+
+// Close stops the probe loop and waits for it to exit.
+func (p *Prober) Close() {
+	p.cancel()
+	<-p.done
+}
+
+func (p *Prober) run(ctx context.Context) {
+	defer close(p.done)
+	t := time.NewTicker(p.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.round(ctx)
+		}
+	}
+}
+
+// round probes every peer once, concurrently (a dead peer costs its
+// probe Timeout; serial probing would let one dead peer delay
+// suspicion of another).
+func (p *Prober) round(ctx context.Context) {
+	self := p.cl.Self()
+	var wg sync.WaitGroup
+	for _, m := range p.cl.Members() {
+		if m == self {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			p.probe(ctx, peer)
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(ctx context.Context, peer string) {
+	p.cl.probes.Add(1)
+	pctx, cancel := context.WithTimeout(ctx, p.opts.Timeout)
+	doc, err := p.cl.ProbeHealth(pctx, peer)
+	cancel()
+	if err != nil {
+		p.cl.probeFailures.Add(1)
+		p.mu.Lock()
+		p.fails[peer]++
+		n := p.fails[peer]
+		p.mu.Unlock()
+		if n == p.opts.Failures {
+			if p.cl.Suspect(peer) {
+				slog.Warn("shard: peer suspected", "peer", peer, "failures", n)
+			}
+		}
+		return
+	}
+	p.mu.Lock()
+	p.fails[peer] = 0
+	p.mu.Unlock()
+	if p.cl.Readmit(peer) {
+		slog.Info("shard: peer readmitted", "peer", peer)
+	}
+	// Anti-entropy: a differing epoch or member-set hash means one of
+	// us missed gossip. Pull the peer's view — AdoptMembership keeps it
+	// only if actually newer; if OURS is newer the pull is a no-op and
+	// the peer repairs itself when it probes us.
+	ours := p.cl.Membership()
+	if doc.Epoch != ours.Epoch || doc.Hash != ours.Hash() {
+		actx, cancel := context.WithTimeout(ctx, p.opts.Timeout)
+		if _, err := p.cl.PullMembership(actx, peer); err != nil {
+			slog.Warn("shard: membership anti-entropy pull failed", "peer", peer, "err", err)
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,40 @@
+// Retry discipline for peer calls: transient failures (transport
+// errors, 5xx) earn ONE bounded retry against the key's replica after
+// a jittered backoff, then the caller falls back to local compute.
+// One retry, not a loop: the replica either has the artifact warm or
+// local compute is the faster answer — a cache cluster's worst case is
+// a recompute, never data loss, so aggressive retrying only adds
+// latency.
+package shard
+
+import (
+	"context"
+	"time"
+)
+
+// TransientStatus reports whether an HTTP status from a peer marks a
+// transient failure worth one replica retry (the peer is up but
+// failing). 4xx answers are authoritative and relayed, not retried.
+func TransientStatus(code int) bool { return code >= 500 }
+
+// RetrySleep blocks for the jittered retry backoff — a delay in
+// [base/2, base) derived deterministically from the key, so concurrent
+// retries for different keys spread out while tests stay repeatable —
+// and reports whether the caller should proceed (false: the context
+// was cancelled first).
+func (c *Cluster) RetrySleep(ctx context.Context, key string) bool {
+	base := c.retryBackoff
+	half := base / 2
+	if half <= 0 {
+		half = time.Millisecond
+	}
+	d := half + time.Duration(hashKey(key+"#retry")%uint64(half))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

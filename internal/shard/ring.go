@@ -108,6 +108,34 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].node
 }
 
+// OwnersN returns the first n DISTINCT nodes at or after the key's
+// hash, wrapping at the top of the ring — the key's replica set:
+// element 0 is the primary (identical to Owner), element 1 the next
+// distinct node, and so on. Fewer than n members yields all of them in
+// ring order. Removing a member from the ring deletes exactly its
+// entries from this sequence (the property the re-replication sweep
+// and the degraded read path rely on): every surviving element keeps
+// its relative order, and the set gains only the next distinct node
+// off the end.
+func (r *Ring) OwnersN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	for j := 0; j < len(r.points) && len(owners) < n; j++ {
+		node := r.points[(i+j)%len(r.points)].node
+		if !slices.Contains(owners, node) {
+			owners = append(owners, node)
+		}
+	}
+	return owners
+}
+
 // Without returns a ring over the members minus the given node — the
 // ownership map a cluster converges to when that node leaves. Keys the
 // departed node did not own keep their owner; only its arc remaps.

@@ -55,7 +55,10 @@ if [ -z "$trace" ]; then
   echo "cluster_metrics_smoke: /v1/simulate response carried no X-Spmt-Trace header" >&2
   exit 1
 fi
-if ! curl -fsS "$entry/v1/traces/$trace" | grep -q '"roots"'; then
+# Fetch to a file before grepping: `curl | grep -q` dies of SIGPIPE
+# under pipefail once the stitched tree outgrows the pipe buffer.
+curl -fsS "$entry/v1/traces/$trace" >"$LOG/trace.json"
+if ! grep -q '"roots"' "$LOG/trace.json"; then
   echo "cluster_metrics_smoke: trace $trace not queryable on the entry node" >&2
   exit 1
 fi

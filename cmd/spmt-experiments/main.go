@@ -1,8 +1,9 @@
 // Command spmt-experiments regenerates the paper's evaluation: every
 // figure of HPCA'02 §4 as an ASCII table (optionally CSV), over the
 // synthetic SpecInt95-like suite. The per-benchmark pipelines are built
-// concurrently on the job engine (-parallel bounds the workers); the
-// output is identical to a serial run.
+// concurrently on one work-stealing scheduler (-parallel is the core
+// budget shared by jobs, reach fan-out, and GEMM tiles); the output is
+// identical to a serial run.
 //
 // Usage:
 //
@@ -34,7 +35,8 @@ func main() {
 	figure := flag.String("figure", "all", "figure to regenerate (all, fig2, fig3, fig4, fig5a, fig5b, fig6, fig7a, fig7b, fig8, fig9a, fig9b, fig10a, fig10b, fig11, fig12)")
 	sizeFlag := flag.String("size", "full", "workload size class: test, small, full")
 	benchFlag := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size (1 = serial)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "scheduler core budget shared by every parallelism level (1 = serial)")
+	workersFlag := flag.Int("workers", 0, "deprecated alias for -parallel")
 	csv := flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 	storeDir := flag.String("store-dir", "", "disk-tier directory shared with spmt-server (empty = memory-only)")
 	storeBytes := flag.String("store-bytes", "", "disk-tier byte budget, e.g. 4GB (empty = unbounded)")
@@ -43,6 +45,18 @@ func main() {
 	size, err := workload.ParseSize(*sizeFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *workersFlag != 0 {
+		fmt.Fprintln(os.Stderr, "spmt-experiments: -workers is deprecated; use -parallel (one scheduler budget for every parallelism level)")
+		parallelSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "parallel" {
+				parallelSet = true
+			}
+		})
+		if !parallelSet {
+			*parallel = *workersFlag
+		}
 	}
 	if *parallel < 1 {
 		fatal(fmt.Errorf("-parallel must be >= 1, got %d", *parallel))

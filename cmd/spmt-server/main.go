@@ -74,7 +74,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	opsAddr := flag.String("ops-addr", "", "ops listen address for /metrics, /healthz and /debug/pprof (empty = disabled)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "engine worker-pool size")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "scheduler core budget shared by every parallelism level (jobs, reach sources, GEMM tiles)")
+	workersFlag := flag.Int("workers", 0, "deprecated alias for -parallel")
 	cacheEntries := flag.Int("cache-entries", engine.DefaultCacheEntries, "artifact-cache capacity (entries)")
 	cacheBytes := flag.String("cache-bytes", "", "memory-tier resident-byte budget, e.g. 512MB (empty = unbounded)")
 	storeDir := flag.String("store-dir", "", "disk-tier directory for persistent artifacts (empty = memory-only)")
@@ -89,6 +90,18 @@ func main() {
 	probeFailures := flag.Int("probe-failures", 3, "consecutive probe failures before a peer is suspected")
 	flag.Parse()
 
+	if *workersFlag != 0 {
+		slog.Warn("-workers is deprecated; use -parallel (one scheduler budget for every parallelism level)")
+		parallelSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "parallel" {
+				parallelSet = true
+			}
+		})
+		if !parallelSet {
+			*parallel = *workersFlag
+		}
+	}
 	if *parallel < 1 {
 		fmt.Fprintln(os.Stderr, "spmt-server: -parallel must be >= 1")
 		os.Exit(2)

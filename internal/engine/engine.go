@@ -2,28 +2,31 @@
 // experiment suite and the spmt-server HTTP service. It models the
 // analysis pipeline (generate → emulate → prune CFG → reach →
 // select/heuristic tables → simulate) as keyed jobs with dependencies
-// and runs them on a bounded worker pool, deduplicating in-flight work
-// singleflight-style and memoizing completed artifacts in a
-// content-keyed LRU cache.
+// and runs them on the process's work-stealing scheduler
+// (internal/sched), deduplicating in-flight work singleflight-style
+// and memoizing completed artifacts in a content-keyed LRU cache.
 //
 // Every job is a pure function of its dependency outputs, so execution
 // is deterministic: a run with 8 workers produces results identical to
-// a serial run, only faster. The worker-pool slot is held only while a
-// job's Run function executes — never while waiting on dependencies or
-// on another caller's in-flight computation — so arbitrarily deep
-// dependency chains cannot deadlock the pool.
+// a serial run, only faster. A scheduler worker is held only while a
+// job's Run function executes; waits on dependencies or on another
+// caller's in-flight computation are helping waits (the worker runs
+// other queued tasks meanwhile), so arbitrarily deep dependency chains
+// cannot deadlock the pool. Because jobs run on the same scheduler
+// that reach's per-source fan-out and linalg's tile fan-out fork into,
+// one core budget covers every parallelism level at once.
 package engine
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
 
 // Job is one keyed unit of work. Deps are executed (or fetched from
@@ -42,8 +45,15 @@ type Job struct {
 
 // Options configures an Engine.
 type Options struct {
-	// Workers bounds concurrent Run invocations (<= 0 selects
-	// runtime.GOMAXPROCS(0)). Workers == 1 gives serial execution.
+	// Sched, when non-nil, is the work-stealing scheduler jobs execute
+	// on — normally the one process-wide scheduler, so engine jobs,
+	// reach fan-outs and linalg tile fan-outs share a single core
+	// budget. When nil the engine builds its own scheduler with
+	// Workers workers.
+	Sched *sched.Scheduler
+	// Workers sizes the scheduler the engine builds when Sched is nil
+	// (<= 0 selects runtime.GOMAXPROCS(0)); Workers == 1 gives serial
+	// execution. Ignored when Sched is set.
 	Workers int
 	// CacheEntries bounds the artifact cache (<= 0 selects
 	// DefaultCacheEntries).
@@ -93,11 +103,14 @@ type Stats struct {
 	// Deduped counts calls that joined an in-flight computation of the
 	// same key instead of running it again.
 	Deduped uint64 `json:"deduped"`
-	// Workers is the pool size.
+	// Workers is the scheduler's pool size.
 	Workers int `json:"workers"`
 	// Latency holds per-job-kind Run-latency histograms, keyed by the
 	// leading segment of the job key ("emu", "reach", "sim", …).
 	Latency map[string]LatencyStats `json:"latency,omitempty"`
+	// Sched snapshots the work-stealing scheduler the engine runs on:
+	// steals, queue depths, per-worker occupancy.
+	Sched sched.Stats `json:"sched"`
 }
 
 type call struct {
@@ -111,7 +124,7 @@ type call struct {
 // shared by every suite and server request in the process so they hit
 // each other's warm artifacts.
 type Engine struct {
-	slots chan struct{}
+	sched *sched.Scheduler
 	// local is the store chain Exec memoizes through (memory, or
 	// memory+disk) — also the view Peek and WarmFromDisk use. rstore,
 	// when non-nil, is the remote-fetch stage consulted between a local
@@ -130,9 +143,9 @@ type Engine struct {
 
 // New builds an Engine.
 func New(opts Options) *Engine {
-	w := opts.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+	s := opts.Sched
+	if s == nil {
+		s = sched.New(opts.Workers)
 	}
 	mem := NewCacheSized(opts.CacheEntries, opts.CacheBytes)
 	var local Store = mem
@@ -144,7 +157,7 @@ func New(opts Options) *Engine {
 		rstore = newRemoteStore(local, opts.Remote)
 	}
 	return &Engine{
-		slots:    make(chan struct{}, w),
+		sched:    s,
 		local:    local,
 		rstore:   rstore,
 		repl:     opts.Replicate,
@@ -155,8 +168,13 @@ func New(opts Options) *Engine {
 	}
 }
 
-// Workers returns the pool size.
-func (e *Engine) Workers() int { return cap(e.slots) }
+// Workers returns the scheduler's pool size.
+func (e *Engine) Workers() int { return e.sched.Workers() }
+
+// Sched returns the scheduler the engine runs jobs on, so nested
+// parallelism (reach fan-out, linalg tiles, suite sweeps) can fork
+// into the same core budget.
+func (e *Engine) Sched() *sched.Scheduler { return e.sched }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
@@ -164,8 +182,9 @@ func (e *Engine) Stats() Stats {
 		Cache:    e.mem.Stats(),
 		Executed: e.executed.Load(),
 		Deduped:  e.deduped.Load(),
-		Workers:  cap(e.slots),
+		Workers:  e.sched.Workers(),
 		Latency:  e.latency.snapshot(),
+		Sched:    e.sched.Stats(),
 	}
 	if e.disk != nil {
 		ds := e.disk.Stats()
@@ -267,19 +286,20 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 			e.mu.Unlock()
 			e.deduped.Add(1)
 			span.SetAttr("tier", "deduped")
-			select {
-			case <-c.done:
-				if c.err != nil && ctx.Err() == nil &&
-					(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
-					// The leader was cancelled under its own context;
-					// retry under ours rather than surfacing a foreign
-					// cancellation.
-					return e.Exec(ctx, j)
-				}
-				return c.val, c.err
-			case <-ctx.Done():
-				return nil, ctx.Err()
+			// A scheduler worker that joins here lends its core to a
+			// substitute worker for the duration of the wait, so the
+			// leader's Run always has a runner and no core idles.
+			if err := e.sched.Block(ctx, c.done); err != nil {
+				return nil, err
 			}
+			if c.err != nil && ctx.Err() == nil &&
+				(errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {
+				// The leader was cancelled under its own context;
+				// retry under ours rather than surfacing a foreign
+				// cancellation.
+				return e.Exec(ctx, j)
+			}
+			return c.val, c.err
 		}
 		c := &call{done: make(chan struct{})}
 		e.inflight[j.Key] = c
@@ -331,7 +351,10 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 	return e.run(ctx, j)
 }
 
-// run resolves dependencies and executes j.Run inside a worker slot.
+// run resolves dependencies and executes j.Run as a scheduler task:
+// queued for a worker when called from an external goroutine, inline
+// when the caller already is one (a dependency resolved on a worker
+// must not wait for a second worker to free up).
 func (e *Engine) run(ctx context.Context, j Job) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -340,26 +363,26 @@ func (e *Engine) run(ctx context.Context, j Job) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	select {
-	case e.slots <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	var v any
+	if derr := e.sched.Do(ctx, JobKind(j.Key), func() {
+		e.executed.Add(1)
+		rs, rctx := obs.StartSpan(ctx, "run "+JobKind(j.Key))
+		start := time.Now()
+		v, err = j.Run(rctx, deps)
+		e.latency.observe(JobKind(j.Key), time.Since(start))
+		rs.End()
+	}); derr != nil {
+		return nil, derr
 	}
-	defer func() { <-e.slots }()
-	e.executed.Add(1)
-	rs, rctx := obs.StartSpan(ctx, "run "+JobKind(j.Key))
-	start := time.Now()
-	v, err := j.Run(rctx, deps)
-	e.latency.observe(JobKind(j.Key), time.Since(start))
-	rs.End()
 	if err != nil {
 		return nil, fmt.Errorf("engine: job %q: %w", j.Key, err)
 	}
 	return v, nil
 }
 
-// resolveDeps executes the dependency jobs concurrently and returns
-// their outputs in declaration order.
+// resolveDeps executes the dependency jobs concurrently — a
+// caller-participating parallel-for over the declaration list — and
+// returns their outputs in declaration order.
 func (e *Engine) resolveDeps(ctx context.Context, deps []Job) ([]any, error) {
 	switch len(deps) {
 	case 0:
@@ -373,15 +396,9 @@ func (e *Engine) resolveDeps(ctx context.Context, deps []Job) ([]any, error) {
 	}
 	vals := make([]any, len(deps))
 	errs := make([]error, len(deps))
-	var wg sync.WaitGroup
-	for i, d := range deps {
-		wg.Add(1)
-		go func(i int, d Job) {
-			defer wg.Done()
-			vals[i], errs[i] = e.Exec(ctx, d)
-		}(i, d)
-	}
-	wg.Wait()
+	e.sched.For("dep", len(deps), func(i int) {
+		vals[i], errs[i] = e.Exec(ctx, deps[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

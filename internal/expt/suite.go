@@ -11,7 +11,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/cfg"
 	"repro/internal/cluster"
@@ -20,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/heuristic"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/reach"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -136,6 +136,12 @@ type Suite struct {
 	// carrying the request's context here is what lets cancellation and
 	// trace identity reach the engine's spans.
 	ctx context.Context
+	// reachWorkers, when non-zero, routes reach jobs through a private
+	// pool of that size instead of the engine's scheduler — the
+	// pool-per-level topology the unified scheduler replaced. It exists
+	// solely so BenchmarkSchedSweep can measure that baseline; nothing
+	// sets it in production.
+	reachWorkers int
 }
 
 // NewSuite builds the pipeline for the given benchmarks (nil = the full
@@ -167,21 +173,14 @@ func NewSuiteEngineCtx(ctx context.Context, eng *engine.Engine, size workload.Si
 	s := &Suite{Size: size, eng: eng, ctx: ctx}
 	benches := make([]*Bench, len(names))
 	errs := make([]error, len(names))
-	done := make(chan int, len(names))
-	for i, name := range names {
-		go func(i int, name string) {
-			v, err := eng.Exec(ctx, s.benchJob(name))
-			if err != nil {
-				errs[i] = fmt.Errorf("expt: %s: %w", name, err)
-			} else {
-				benches[i] = v.(*Bench)
-			}
-			done <- i
-		}(i, name)
-	}
-	for range names {
-		<-done
-	}
+	eng.Sched().For("bench", len(names), func(i int) {
+		v, err := eng.Exec(ctx, s.benchJob(names[i]))
+		if err != nil {
+			errs[i] = fmt.Errorf("expt: %s: %w", names[i], err)
+		} else {
+			benches[i] = v.(*Bench)
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -231,11 +230,17 @@ func (s *Suite) benchJob(name string) engine.Job {
 		Key:  "reach/" + stem + "/" + pipeHash,
 		Deps: []engine.Job{cfgJob},
 		Run: func(ctx context.Context, deps []any) (any, error) {
-			// Serial per-source loop here: the engine already runs one
-			// reach job per benchmark concurrently, and nesting a
-			// GOMAXPROCS fan-out inside a worker slot would oversubscribe
-			// the CPUs. Output is identical for every worker count.
-			return reach.ComputeOpts(deps[0].(*cfg.Graph), reach.Options{Workers: 1})
+			// The per-source fan-out forks into the engine's own
+			// scheduler: when other benchmarks keep the workers busy the
+			// group runs on the worker it started on (no oversubscription),
+			// and when this job is the only work the idle workers steal
+			// its sources. Output is identical for every worker count.
+			ro := reach.Options{Sched: s.eng.Sched()}
+			if s.reachWorkers > 0 {
+				// Benchmark-only baseline: the seed's private pool.
+				ro = reach.Options{Workers: s.reachWorkers}
+			}
+			return reach.ComputeOpts(deps[0].(*cfg.Graph), ro)
 		},
 	}
 	return engine.Job{
@@ -422,15 +427,16 @@ type SimReq struct {
 	Spec  SimSpec
 }
 
-// SimEach runs every requested simulation concurrently as one engine
-// dependency layer (tables resolved as dependencies, executions bounded
-// by the engine's worker pool, identical specs deduplicated in flight)
-// and invokes done(i, result, err) as each simulation completes. done
-// is called exactly once per request, concurrently from multiple
-// goroutines, so it must be safe for concurrent use; SimEach returns
-// after every callback has fired. A spec that fails to resolve to a
-// job (unknown policy) fails the whole call up front, before any work
-// is submitted.
+// SimEach runs every requested simulation concurrently as a task group
+// on the engine's scheduler (tables resolved as dependencies, identical
+// specs deduplicated in flight) and invokes done(i, result, err) as
+// each simulation completes. done is called exactly once per request,
+// concurrently from multiple goroutines, so it must be safe for
+// concurrent use; SimEach returns after every callback has fired. A
+// spec that fails to resolve to a job (unknown policy) fails the whole
+// call up front, before any work is submitted. Under an active trace
+// the whole batch runs as one "exec batch" span recording the group
+// size.
 func (s *Suite) SimEach(ctx context.Context, reqs []SimReq, done func(i int, r *cluster.Result, err error)) error {
 	jobs := make([]engine.Job, len(reqs))
 	for i, r := range reqs {
@@ -440,20 +446,16 @@ func (s *Suite) SimEach(ctx context.Context, reqs []SimReq, done func(i int, r *
 		}
 		jobs[i] = j
 	}
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			v, err := s.eng.Exec(ctx, jobs[i])
-			if err != nil {
-				done(i, nil, err)
-				return
-			}
-			done(i, v.(*cluster.Result), nil)
-		}(i)
-	}
-	wg.Wait()
+	span, ctx := obs.StartSpan(ctx, "exec batch", obs.A("group_size", fmt.Sprint(len(jobs))))
+	defer span.End()
+	s.eng.Sched().For("sim", len(jobs), func(i int) {
+		v, err := s.eng.Exec(ctx, jobs[i])
+		if err != nil {
+			done(i, nil, err)
+			return
+		}
+		done(i, v.(*cluster.Result), nil)
+	})
 	return nil
 }
 

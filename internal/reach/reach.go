@@ -61,13 +61,14 @@ package reach
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cfg"
 	"repro/internal/linalg"
+	"repro/internal/sched"
 )
 
 // Result holds the dense pairwise matrices over graph nodes.
@@ -101,13 +102,27 @@ const damping = 1e-9
 // better-conditioned per-source reference path.
 const condLimit = 1e12
 
-// Options tunes Compute. The zero value selects the defaults.
+// Options tunes Compute. The zero value selects the defaults: the
+// per-source fan-out runs on the process-wide scheduler.
 type Options struct {
-	// Workers bounds the per-source fan-out (<= 0 selects
-	// runtime.GOMAXPROCS(0); 1 is serial). Output is byte-identical
-	// for every worker count.
+	// Sched, when non-nil, is the work-stealing scheduler the
+	// per-source fan-out (and the nested linalg tile fan-out) forks
+	// into — normally the engine's scheduler, so reach work shares the
+	// one core budget. When nil and Workers is unset, sched.Default()
+	// is used. Output is byte-identical for every scheduler size.
+	Sched *sched.Scheduler
+
+	// Workers bounds the fan-out with a transient private scheduler of
+	// that size (1 is serial). Ignored when Sched is set.
+	//
+	// Deprecated: set Sched instead, so reach work draws from the one
+	// scheduler budget rather than adding a pool on top of it.
 	Workers int
 }
+
+// warnWorkersOnce emits the one-time deprecation notice for the
+// private-pool Options.Workers knob.
+var warnWorkersOnce sync.Once
 
 // Compute evaluates the exact reaching-probability and distance
 // matrices for every ordered node pair of g using the shared-
@@ -131,15 +146,34 @@ func ComputeOpts(g *cfg.Graph, opts Options) (*Result, error) {
 	}
 	res := &Result{G: g, Prob: linalg.NewMatrix(n, n), Dist: linalg.NewMatrix(n, n)}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Resolve the scheduler the fan-out forks into: an explicit one, a
+	// serial run (Workers == 1), a transient private pool for the
+	// deprecated Workers knob, or the process-wide default.
+	s := opts.Sched
+	if s == nil {
+		switch {
+		case opts.Workers == 1:
+			// s stays nil: fully serial.
+		case opts.Workers > 1:
+			warnWorkersOnce.Do(func() {
+				slog.Warn("reach: Options.Workers is deprecated; set Options.Sched to share the scheduler budget")
+			})
+			t := sched.New(opts.Workers)
+			defer t.Close()
+			s = t
+		default:
+			s = sched.Default()
+		}
+	}
+	workers := 1
+	if s != nil {
+		workers = s.Workers()
 	}
 	if workers > n {
 		workers = n
 	}
 
-	sc, ok := newSharedChain(P, lens, ws, workers)
+	sc, ok := newSharedChain(P, lens, ws, s)
 	if !ok {
 		// Singular or ill-conditioned base chain: the rank-2 updates
 		// would amplify factorisation error, so run the reference path.
@@ -161,27 +195,32 @@ func ComputeOpts(g *cfg.Graph, opts Options) (*Result, error) {
 		}
 		ss.release(ws)
 	} else {
+		// Caller-participating claimer tasks on the shared scheduler:
+		// the caller plus up to workers-1 group tasks claim sources
+		// from an atomic counter, each with its own pooled workspace.
+		// Every source i is a reservation of rows i of Prob/Dist —
+		// disjoint slots, so claim order cannot affect the output.
 		errs := make([]error, n)
 		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				wws := wsPool.Get().(*linalg.Workspace)
-				ss := newSourceScratch(n, wws)
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						break
-					}
-					errs[i] = computeSource(sc, i, res.Prob.Row(i), res.Dist.Row(i), ss)
+		claim := func() {
+			wws := wsPool.Get().(*linalg.Workspace)
+			ss := newSourceScratch(n, wws)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
 				}
-				ss.release(wws)
-				wsPool.Put(wws)
-			}()
+				errs[i] = computeSource(sc, i, res.Prob.Row(i), res.Dist.Row(i), ss)
+			}
+			ss.release(wws)
+			wsPool.Put(wws)
 		}
-		wg.Wait()
+		g := s.NewGroup()
+		for w := 0; w < workers-1; w++ {
+			g.Go("reach", claim)
+		}
+		claim()
+		g.Wait()
 		for i, serr := range errs {
 			if serr != nil {
 				err = fmt.Errorf("reach: source %d: %w", i, serr)
@@ -253,11 +292,11 @@ type sharedChain struct {
 
 // newSharedChain factorises the base chain once and materialises the
 // shared products — all through the packed register-blocked kernels,
-// with the trailing-update fan-out bounded by workers (deterministic:
-// the products are byte-identical for every worker count). ok is false
-// when the base chain is singular or so ill-conditioned that
-// per-source refactorisation is the safer path.
-func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace, workers int) (*sharedChain, bool) {
+// with the trailing-update fan-out forked onto s (nil = serial;
+// deterministic: the products are byte-identical for every scheduler
+// size). ok is false when the base chain is singular or so
+// ill-conditioned that per-source refactorisation is the safer path.
+func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace, s *sched.Scheduler) (*sharedChain, bool) {
 	n := P.Rows
 	A := ws.Matrix(n, n)
 	for r := 0; r < n; r++ {
@@ -269,7 +308,9 @@ func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace, work
 		Arow[r] += 1
 	}
 	lu := ws.LU(n)
-	lu.Workers = workers
+	// Pooled LUs keep their fan-out fields across uses; set both so a
+	// stale private-pool count never survives into this call.
+	lu.Sched, lu.Workers = s, 0
 	if err := lu.FactorInto(A); err != nil {
 		ws.PutMatrix(A)
 		ws.PutLU(lu)
@@ -298,7 +339,7 @@ func newSharedChain(P *linalg.Matrix, lens []float64, ws *linalg.Workspace, work
 		}
 	}
 	M0 := ws.Matrix(n, n)
-	linalg.MulIntoOpt(M0, ND, N, workers, ws)
+	linalg.MulIntoSched(M0, ND, N, s, ws)
 	ws.PutMatrix(ND)
 
 	sc := &sharedChain{n: n, P: P, lens: lens, N: N, M0: M0}

@@ -1,0 +1,26 @@
+package sched
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+)
+
+// goid returns the calling goroutine's runtime ID, parsed from the
+// first line of its stack header ("goroutine 123 [running]:"). Go has
+// no goroutine-local storage, and the scheduler needs to answer "is
+// this goroutine one of my workers?" to run Do inline and to turn
+// blocking joins into helping waits; a 64-byte Stack call is ~1µs,
+// negligible against the ms-scale tasks this scheduler runs, and the
+// Group caches the lookup so hot fork paths do it once per scope.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	b := buf[:n]
+	b = bytes.TrimPrefix(b, []byte("goroutine "))
+	if i := bytes.IndexByte(b, ' '); i > 0 {
+		b = b[:i]
+	}
+	id, _ := strconv.ParseUint(string(b), 10, 64)
+	return id
+}

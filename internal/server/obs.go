@@ -234,6 +234,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			obs.A("kind", kind))
 	}
 
+	ss := es.Sched
+	mw.Gauge("spmt_sched_workers",
+		"Work-stealing scheduler core budget (primary workers).", float64(ss.Workers))
+	mw.Counter("spmt_sched_tasks_submitted_total",
+		"Tasks handed to the scheduler (inline runs included).", float64(ss.Submitted))
+	mw.Counter("spmt_sched_tasks_completed_total",
+		"Tasks retired by the scheduler (cancelled tasks included).", float64(ss.Completed))
+	mw.Counter("spmt_sched_tasks_inline_total",
+		"Do calls that ran inline on a worker already holding a core.", float64(ss.Inline))
+	for _, kind := range sortedKeys(ss.TasksByKind) {
+		mw.Counter("spmt_sched_tasks_total",
+			"Tasks submitted by kind (emu, sim, reach, tile, ...).",
+			float64(ss.TasksByKind[kind]), obs.A("kind", kind))
+	}
+	mw.Counter("spmt_sched_steals_total",
+		"Tasks claimed from another worker's deque.", float64(ss.Steals))
+	mw.Counter("spmt_sched_parks_total",
+		"Worker idle-park transitions (blocking waits included).", float64(ss.Parks))
+	mw.Counter("spmt_sched_unparks_total",
+		"Worker wake-ups from an idle park.", float64(ss.Unparks))
+	mw.Gauge("spmt_sched_queue_depth",
+		"Tasks queued across the global queue and every deque.", float64(ss.QueueDepth))
+	mw.Counter("spmt_sched_substitutes_spawned_total",
+		"Substitute workers spawned to cover blocked primaries.", float64(ss.SubstitutesSpawned))
+	mw.Gauge("spmt_sched_substitutes_alive",
+		"Substitute workers currently live.", float64(ss.SubstitutesAlive))
+	var busy float64
+	for _, pw := range ss.PerWorker {
+		busy += pw.BusyMS
+	}
+	mw.Counter("spmt_sched_worker_busy_seconds_total",
+		"Cumulative task-execution time summed over primary workers.", busy/1000)
+
 	writeTierCounter := func(name, help string, mem uint64, disk func(*engine.DiskStats) uint64) {
 		mw.Counter(name, help, float64(mem), obs.A("tier", "mem"))
 		if es.Disk != nil {

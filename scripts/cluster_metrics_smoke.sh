@@ -78,6 +78,10 @@ check_scrape() {
   for series in \
     spmt_engine_jobs_executed_total \
     spmt_engine_job_duration_seconds_bucket \
+    spmt_sched_workers \
+    spmt_sched_tasks_submitted_total \
+    spmt_sched_steals_total \
+    spmt_sched_queue_depth \
     spmt_store_hits_total \
     spmt_store_bytes_resident \
     spmt_http_requests_total \

@@ -124,8 +124,10 @@ func ParseBytes(s string) (int64, error) { return engine.ParseBytes(s) }
 type (
 	// Engine is the concurrent job executor.
 	Engine = engine.Engine
-	// EngineOptions configures worker-pool size, cache entry capacity,
-	// and the cache's resident-byte budget (CacheBytes).
+	// EngineOptions configures the scheduler core budget (Workers —
+	// one work-stealing pool shared by job execution, reach fan-out,
+	// and GEMM tiles), cache entry capacity, and the cache's
+	// resident-byte budget (CacheBytes).
 	EngineOptions = engine.Options
 	// EngineJob is one keyed unit of work with dependencies.
 	EngineJob = engine.Job
@@ -218,8 +220,13 @@ type AnalyzeConfig struct {
 	// MaxInstrs bounds emulation (default emu.DefaultMaxInstrs).
 	MaxInstrs int
 	// ReachWorkers bounds the reach engine's per-source fan-out
-	// (default GOMAXPROCS; 1 forces serial). Output is byte-identical
-	// for every worker count.
+	// (1 forces serial). Output is byte-identical for every worker
+	// count.
+	//
+	// Deprecated: leave zero. Reach now runs on the process-wide
+	// work-stealing scheduler (one worker per core), sharing its
+	// budget with every other parallelism level; a non-zero value
+	// spins up a throwaway pool alongside it and logs a warning.
 	ReachWorkers int
 }
 

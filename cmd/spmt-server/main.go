@@ -29,9 +29,19 @@
 // Observability: every /v1 request runs under a trace (X-Spmt-Trace,
 // queryable via GET /v1/traces/{id}, stitched across shards), and
 // -ops-addr opens a second listener serving /metrics (Prometheus text
-// exposition), /healthz, and /debug/pprof — kept off the client port
-// so profiling is never exposed to API consumers. Logs are structured
-// (log/slog) and carry the trace ID where one applies.
+// exposition), /healthz (liveness), /readyz (readiness: 503 while
+// draining or admission-saturated), and /debug/pprof — kept off the
+// client port so profiling is never exposed to API consumers. Logs are
+// structured (log/slog) and carry the trace ID where one applies.
+//
+// Overload safety: cold computes pass a weighted admission gate
+// (-admit-capacity, on by default at 4×parallel) and shed with 429 +
+// Retry-After when the bounded queue is full; warm, store-resolvable
+// requests bypass the gate. -default-deadline mints a cluster-wide
+// time budget per request (propagated and decremented across every
+// forward/fan-out/fetch leg via X-Spmt-Deadline; exhaustion is a 504),
+// and a per-peer circuit breaker fast-fails calls to nodes that keep
+// failing, falling back to the replica or local compute.
 //
 // Usage:
 //
@@ -67,6 +77,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/engine/codec"
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/shard"
 )
@@ -88,7 +99,24 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe period")
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "single health-probe deadline")
 	probeFailures := flag.Int("probe-failures", 3, "consecutive probe failures before a peer is suspected")
+	defaultDeadline := flag.Duration("default-deadline", 0, "per-request time budget minted for /v1 requests without an X-Spmt-Deadline header, propagated cluster-wide (0 = none)")
+	admitCapacity := flag.Int("admit-capacity", 0, "weighted concurrency for cold computes (0 = auto: 4*parallel; negative disables admission)")
+	admitQueue := flag.Int("admit-queue", 0, "bounded admission wait-queue length (0 = 4*capacity)")
+	admitMaxWait := flag.Duration("admit-max-wait", 0, "max time one request may queue for admission (0 = 2s)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive peer failures before its circuit opens (0 = default 5; negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe (0 = default 2s)")
+	faultInject := flag.String("fault-inject", "", "TESTING ONLY: deterministic fault spec, e.g. 'disk.read:0.1,peer.latency:0.5:100ms'")
+	faultSeed := flag.Uint64("fault-seed", 1, "TESTING ONLY: seed for -fault-inject decisions")
 	flag.Parse()
+
+	inj, err := fault.Parse(*faultInject, *faultSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmt-server: -fault-inject: %v\n", err)
+		os.Exit(2)
+	}
+	if inj != nil {
+		slog.Warn("fault injection enabled (testing only)", "spec", *faultInject, "seed", *faultSeed)
+	}
 
 	if *workersFlag != 0 {
 		slog.Warn("-workers is deprecated; use -parallel (one scheduler budget for every parallelism level)")
@@ -122,8 +150,17 @@ func main() {
 		if *peers != "" {
 			members = strings.Split(*peers, ",")
 		}
+		sopts := shard.Options{
+			VNodes:          *vnodes,
+			Replicas:        *replicas,
+			BreakerFailures: *breakerFailures,
+			BreakerCooldown: *breakerCooldown,
+		}
+		if inj != nil {
+			sopts.WrapTransport = inj.Transport
+		}
 		var err error
-		cl, err = shard.New(*self, members, shard.Options{VNodes: *vnodes, Replicas: *replicas})
+		cl, err = shard.New(*self, members, sopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spmt-server: %v\n", err)
 			os.Exit(2)
@@ -136,6 +173,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spmt-server: -store-dir: %v\n", err)
 			os.Exit(2)
+		}
+		if inj != nil {
+			disk.SetFaults(inj)
 		}
 		opts.Disk = disk
 	} else if *storeBytes != "" {
@@ -157,7 +197,20 @@ func main() {
 		slog.Info("warmed artifacts from disk",
 			"artifacts", n, "dir", *storeDir, "took", time.Since(start).Round(time.Millisecond))
 	}
-	srv := server.NewCluster(eng, cl)
+	capacity := *admitCapacity
+	if capacity == 0 {
+		capacity = 4 * *parallel
+	}
+	if capacity < 0 {
+		capacity = 0 // admission disabled
+	}
+	srv := server.NewWithConfig(eng, cl, server.Config{
+		DefaultDeadline: *defaultDeadline,
+		AdmitCapacity:   capacity,
+		AdmitQueue:      *admitQueue,
+		AdmitMaxWait:    *admitMaxWait,
+		Fault:           inj,
+	})
 	var prober *shard.Prober
 	if cl != nil {
 		slog.Info("peer mode",
@@ -228,6 +281,9 @@ func main() {
 	select {
 	case sig := <-stop:
 		slog.Info("shutting down", "signal", sig.String())
+		// Flip readiness first: /readyz answers 503 for the whole drain,
+		// so load balancers stop routing before the listener closes.
+		srv.SetDraining(true)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

@@ -1,0 +1,251 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	g := NewGate(Options{Capacity: 2})
+	rel1, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if s.InUse != 2 || s.Admitted != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	rel1()
+	rel1() // double release must be a no-op
+	rel2()
+	if s := g.Stats(); s.InUse != 0 {
+		t.Fatalf("in_use after release = %d", s.InUse)
+	}
+}
+
+func TestAdmissionWeightClamp(t *testing.T) {
+	g := NewGate(Options{Capacity: 4})
+	// Weight above capacity clamps down so it can ever be admitted.
+	rel, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := g.Stats(); s.InUse != 4 {
+		t.Fatalf("in_use = %d, want clamped 4", s.InUse)
+	}
+	rel()
+}
+
+func TestAdmissionQueueFIFOAndGrant(t *testing.T) {
+	g := NewGate(Options{Capacity: 1, QueueLimit: 8, MaxWait: 5 * time.Second})
+	rel, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}()
+		// Space arrivals so queue order matches i.
+		for {
+			time.Sleep(2 * time.Millisecond)
+			if g.Stats().Waiting == i+1 {
+				break
+			}
+		}
+	}
+	rel()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("grant order: got %d, want %d (FIFO violated)", got, want)
+		}
+		want++
+	}
+}
+
+func TestAdmissionSaturated(t *testing.T) {
+	g := NewGate(Options{Capacity: 1, QueueLimit: 1, MaxWait: 5 * time.Second})
+	rel, _ := g.Acquire(context.Background(), 1)
+	defer rel()
+	// Fill the queue with one waiter.
+	go g.Acquire(context.Background(), 1)
+	for g.Stats().Waiting != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if !g.Saturated() {
+		t.Fatal("gate should report saturated")
+	}
+	_, err := g.Acquire(context.Background(), 1)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if s := g.Stats(); s.RejectedFull != 1 {
+		t.Fatalf("rejected_full = %d", s.RejectedFull)
+	}
+}
+
+func TestAdmissionWaitTimeout(t *testing.T) {
+	g := NewGate(Options{Capacity: 1, QueueLimit: 4, MaxWait: 20 * time.Millisecond})
+	rel, _ := g.Acquire(context.Background(), 1)
+	defer rel()
+	start := time.Now()
+	_, err := g.Acquire(context.Background(), 1)
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err = %v, want ErrWaitTimeout", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("wait took %v", d)
+	}
+	if s := g.Stats(); s.RejectedWait != 1 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAdmissionExpiredDeadline(t *testing.T) {
+	g := NewGate(Options{Capacity: 1})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := g.Acquire(ctx, 1)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if s := g.Stats(); s.RejectedDeadline != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAdmissionDeadlineBoundsWait(t *testing.T) {
+	// A short request deadline trumps a long MaxWait.
+	g := NewGate(Options{Capacity: 1, MaxWait: 10 * time.Second})
+	rel, _ := g.Acquire(context.Background(), 1)
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := g.Acquire(ctx, 1)
+	if err == nil {
+		t.Fatal("expected rejection")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("waited %v despite 30ms deadline", d)
+	}
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	g := NewGate(Options{Capacity: 1, MaxWait: 5 * time.Second})
+	rel, _ := g.Acquire(context.Background(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, 1)
+		done <- err
+	}()
+	for g.Stats().Waiting != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := g.Stats(); s.Canceled != 1 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The abandoned waiter must not wedge the gate.
+	rel()
+	rel2, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestAdmissionNilGate(t *testing.T) {
+	var g *Gate
+	rel, err := g.Acquire(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	g.NoteBypass()
+	if g.Saturated() {
+		t.Fatal("nil gate is never saturated")
+	}
+	if g.RetryAfter() < 1 {
+		t.Fatal("retry-after must be >= 1")
+	}
+	if s := g.Stats(); s != (Stats{}) {
+		t.Fatalf("nil stats = %+v", s)
+	}
+}
+
+func TestAdmissionHeavyNotStarved(t *testing.T) {
+	// A weight-2 waiter at the head must not be starved by weight-1
+	// arrivals slipping past it (strict FIFO grant).
+	g := NewGate(Options{Capacity: 2, QueueLimit: 8, MaxWait: 5 * time.Second})
+	relA, _ := g.Acquire(context.Background(), 1)
+	relB, _ := g.Acquire(context.Background(), 1)
+
+	heavyDone := make(chan struct{})
+	go func() {
+		r, err := g.Acquire(context.Background(), 2)
+		if err != nil {
+			t.Errorf("heavy: %v", err)
+			close(heavyDone)
+			return
+		}
+		close(heavyDone)
+		r()
+	}()
+	for g.Stats().Waiting != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	lightDone := make(chan struct{})
+	go func() {
+		r, err := g.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("light: %v", err)
+		} else {
+			r()
+		}
+		close(lightDone)
+	}()
+	for g.Stats().Waiting != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Free one unit: heavy (head, weight 2) still does not fit, and
+	// light must NOT jump the queue.
+	relA()
+	select {
+	case <-heavyDone:
+		t.Fatal("heavy admitted with only 1 unit free")
+	case <-lightDone:
+		t.Fatal("light jumped the FIFO queue past heavy")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Free the second unit: heavy goes first, then light.
+	relB()
+	<-heavyDone
+	<-lightDone
+}

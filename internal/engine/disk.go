@@ -87,6 +87,18 @@ type diskWrite struct {
 	done chan struct{}
 }
 
+// DiskFaults is the disk tier's fault-injection seam (implemented by
+// internal/fault.Injector). ReadError/WriteError fail the operation
+// as if the file were unreadable/unwritable; MangleImage may corrupt
+// the encoded image before it reaches disk (a torn write — the CRC
+// catches it on the next read). A nil DiskFaults injects nothing;
+// production code never sets one.
+type DiskFaults interface {
+	ReadError(key string) error
+	WriteError(key string) error
+	MangleImage(key string, img []byte) []byte
+}
+
 // DiskTier is the persistent tier of the artifact store. All methods
 // are safe for concurrent use.
 type DiskTier struct {
@@ -103,9 +115,10 @@ type DiskTier struct {
 	queue  chan diskWrite
 	wg     sync.WaitGroup
 
-	mu    sync.Mutex
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu     sync.Mutex
+	faults DiskFaults // nil in production; see SetFaults
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
 	// pending holds artifacts accepted for the background writer but
 	// not yet on disk, keyed to their live value: reads are served from
 	// it, so an artifact is never invisible between Add and the write
@@ -288,6 +301,24 @@ func (t *DiskTier) Close() {
 // Dir returns the store directory.
 func (t *DiskTier) Dir() string { return t.dir }
 
+// SetFaults installs a fault injector behind the read/write paths
+// (nil clears it). Injected failures flow through the SAME
+// corruption-tolerance paths real ones do — a read error drops the
+// file and reports a miss, a failed or torn write is a counted
+// error — which is exactly what the degradation suite exercises.
+func (t *DiskTier) SetFaults(f DiskFaults) {
+	t.mu.Lock()
+	t.faults = f
+	t.mu.Unlock()
+}
+
+// faultHook returns the current injector (nil almost always).
+func (t *DiskTier) faultHook() DiskFaults {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults
+}
+
 // artPath maps a content key to its file path: keys contain slashes
 // and arbitrary config hashes, so the name is a digest of the key
 // (the key itself is stored in the file header and verified on read).
@@ -454,7 +485,14 @@ func (t *DiskTier) Image(key string) (kind string, data []byte, ok bool) {
 		return "", nil, false
 	}
 	ent := el.Value.(*diskEntry)
-	img, err := os.ReadFile(ent.path)
+	var img []byte
+	var err error
+	if t.faults != nil {
+		err = t.faults.ReadError(key)
+	}
+	if err == nil {
+		img, err = os.ReadFile(ent.path)
+	}
 	if err == nil {
 		var fileKey string
 		kind, fileKey, data, err = decodeFile(img)
@@ -474,6 +512,11 @@ func (t *DiskTier) Image(key string) (kind string, data []byte, ok bool) {
 
 // load reads and decodes one artifact file. Callers must hold t.mu.
 func (t *DiskTier) load(ent *diskEntry, key string) (any, error) {
+	if t.faults != nil {
+		if err := t.faults.ReadError(key); err != nil {
+			return nil, err
+		}
+	}
 	img, err := os.ReadFile(ent.path)
 	if err != nil {
 		return nil, err
@@ -517,6 +560,13 @@ func (t *DiskTier) Put(key string, val any) {
 	}
 	img := encodeFile(kind, key, data)
 	path := t.artPath(key)
+	if f := t.faultHook(); f != nil {
+		if err := f.WriteError(key); err != nil {
+			t.fail("write %s: %v", path, err)
+			return
+		}
+		img = f.MangleImage(key, img)
+	}
 
 	// Write the temp file outside the tier lock: trace-sized images
 	// are tens of megabytes, and holding t.mu across the write would

@@ -1,0 +1,78 @@
+// Server-side admission: the glue between the HTTP handlers and the
+// cost-tiered gate in internal/admit. Each compute endpoint declares a
+// weight (≈ engine jobs it will pin) and a warmness probe (is the
+// answer already in the artifact store?); warm requests bypass the
+// gate so an overloaded node keeps serving cached traffic flat-out,
+// while cold computes queue boundedly and shed with 429 + Retry-After.
+//
+// The gate sits on the LOCAL-COMPUTE path only, after routeToOwner has
+// declined: a proxied request is gated by its owner, and the owner's
+// 429 is relayed verbatim (429 is not a transient status), so the
+// cluster sheds consistently instead of ping-ponging rejected work.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/admit"
+)
+
+// Endpoint weights, in gate units (≈ concurrently-pinned engine jobs).
+// Analyze resolves one artifact chain; pairs/simulate add a table or
+// sim on top; a figure fans a whole sweep into the engine at once.
+const (
+	weightAnalyze = 1
+	weightTable   = 2
+	weightFigure  = 4
+)
+
+// admitCompute gates one cold compute (or records a warm bypass).
+// ok=false means the rejection response has been written and the
+// handler must return; ok=true hands back a release closure the
+// handler must call (defer) when its compute finishes.
+func (s *Server) admitCompute(w http.ResponseWriter, r *http.Request, endpoint string, weight int, warm bool) (release func(), ok bool) {
+	if s.gate == nil {
+		return func() {}, true
+	}
+	if warm {
+		s.gate.NoteBypass()
+		s.admitDecisions.Add(1, endpoint, "bypass")
+		return func() {}, true
+	}
+	release, err := s.gate.Acquire(r.Context(), weight)
+	if err == nil {
+		s.admitDecisions.Add(1, endpoint, "admit")
+		return release, true
+	}
+	decision := "reject_wait"
+	switch {
+	case errors.Is(err, admit.ErrSaturated):
+		decision = "reject_full"
+	case errors.Is(err, admit.ErrDeadline):
+		decision = "reject_deadline"
+	case errors.Is(err, context.Canceled):
+		decision = "canceled"
+	}
+	s.admitDecisions.Add(1, endpoint, decision)
+	// Every rejection is a 429: the request was well-formed, the node
+	// is shedding. Retry-After tells a well-behaved client when the
+	// backlog should have moved.
+	w.Header().Set("Retry-After", strconv.Itoa(s.gate.RetryAfter()))
+	writeError(w, http.StatusTooManyRequests, fmt.Errorf("overloaded: %w", err))
+	return nil, false
+}
+
+// computeStatus maps a compute error onto its HTTP status: deadline
+// exhaustion (minted locally or propagated via X-Spmt-Deadline) is a
+// 504 — the request was valid but its time budget ran out mid-compute
+// — anything else keeps the handler's own fallback status.
+func computeStatus(fallback int, err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return fallback
+}

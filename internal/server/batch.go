@@ -226,9 +226,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.handleBatchSharded(w, r, sz, specs, resolved)
 		return
 	}
+	// Admission: a batch weighs what it still has to compute — resolved
+	// specs and bench chains already in the store are free, so a fully
+	// warm batch bypasses the gate entirely.
+	cold := 0
+	for i := range resolved {
+		if !s.eng.Has(expt.SimKey(sz, resolved[i])) {
+			cold++
+		}
+	}
+	for _, n := range benches {
+		if !s.eng.Has(expt.BenchKey(n, sz)) {
+			cold++
+		}
+	}
+	release, ok := s.admitCompute(w, r, "/v1/batch", cold, cold == 0)
+	if !ok {
+		return
+	}
+	defer release()
 	suite, err := expt.NewSuiteEngineCtx(r.Context(), s.eng, sz, benches)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
 		return
 	}
 	reqs := make([]expt.SimReq, len(resolved))

@@ -13,9 +13,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
+	"runtime/debug"
 	"slices"
 	"sort"
 	"strconv"
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // httpDurationBuckets are the per-endpoint latency bucket bounds in
@@ -71,19 +74,38 @@ func traceable(path string) bool {
 		!strings.HasPrefix(path, "/v1/cluster")
 }
 
-// observe wraps the route table with the observability middleware:
-// every request is counted and timed per endpoint pattern, and
-// traceable requests run under a trace adopted from X-Spmt-Trace (a
-// forwarded hop lands its spans in the same trace the entry node
-// started) or freshly minted.
+// observe wraps the route table with the observability and
+// overload-safety middleware: every request is counted and timed per
+// endpoint pattern, traceable requests run under a trace adopted from
+// X-Spmt-Trace (a forwarded hop lands its spans in the same trace the
+// entry node started) or freshly minted AND under the cluster-wide
+// deadline (adopted from X-Spmt-Deadline, or minted from the
+// configured default), and handler panics are contained to a 500.
 func (s *Server) observe(mux *http.ServeMux) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		sw := &statusWriter{ResponseWriter: w}
 		var span *obs.Span
 		if traceable(r.URL.Path) {
+			ctx := r.Context()
+			// Cluster-wide deadline: a forwarded leg carries the sender's
+			// remaining budget in whole milliseconds; an entry request gets
+			// the configured default (0 = none). The context cancels engine
+			// work when the budget is spent, which handlers map to 504 and
+			// the admission gate folds into its wait bound.
+			var cancel context.CancelFunc
+			if h := r.Header.Get(shard.DeadlineHeader); h != "" {
+				if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+				}
+			} else if s.defaultDeadline > 0 {
+				ctx, cancel = context.WithTimeout(ctx, s.defaultDeadline)
+			}
+			if cancel != nil {
+				defer cancel()
+			}
 			tr := s.tracer.Trace(r.Header.Get(obs.TraceHeader))
-			ctx := obs.ContextWithTrace(r.Context(), tr)
+			ctx = obs.ContextWithTrace(ctx, tr)
 			// The header goes out before the handler commits a status, so
 			// clients always learn the ID to query /v1/traces/{id} with.
 			w.Header().Set(obs.TraceHeader, tr.ID())
@@ -91,7 +113,7 @@ func (s *Server) observe(mux *http.ServeMux) http.Handler {
 			r = r.WithContext(ctx)
 		}
 		start := time.Now()
-		mux.ServeHTTP(sw, r)
+		s.serveRecovered(mux, sw, r)
 		// ServeMux stamped r.Pattern while routing; the pattern (not the
 		// raw path) keys the metrics so figure IDs and junk paths cannot
 		// explode label cardinality.
@@ -114,6 +136,33 @@ func (s *Server) observe(mux *http.ServeMux) http.Handler {
 			span.End()
 		}
 	})
+}
+
+// serveRecovered runs the route table under the panic barrier: a
+// panicking handler becomes a logged 500 (when no bytes have been
+// written yet) and a counter bump, not a torn-down connection — one
+// poisoned request must not look like a node failure to the client or
+// to the cluster's prober. http.ErrAbortHandler passes through: it is
+// net/http's own sentinel for a deliberately-aborted response.
+func (s *Server) serveRecovered(mux *http.ServeMux, sw *statusWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.httpPanics.Add(1)
+		slog.Error("server: handler panic",
+			"method", r.Method, "path", r.URL.Path, "panic", rec,
+			"trace", obs.TraceIDFrom(r.Context()), "stack", string(debug.Stack()))
+		if sw.status == 0 {
+			writeError(sw, http.StatusInternalServerError,
+				fmt.Errorf("internal error: handler panic (see server log)"))
+		}
+	}()
+	mux.ServeHTTP(sw, r)
 }
 
 // tracesResponse is the GET /v1/traces body.
@@ -304,6 +353,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.Counter("spmt_trace_spans_dropped_total", "Spans discarded over the per-trace budget.", float64(ts.SpansDropped))
 	mw.Gauge("spmt_traces_resident", "Traces held in the ring.", float64(ts.Resident))
 
+	mw.Counter("spmt_http_panics_total",
+		"Handler panics recovered by the HTTP barrier.", float64(s.httpPanics.Load()))
+
+	// Admission gate (all-zero when disabled — the families stay
+	// scrapeable either way).
+	gs := s.gate.Stats()
+	mw.Gauge("spmt_admit_capacity", "Admission gate weighted capacity (0 = gate disabled).", float64(gs.Capacity))
+	mw.Gauge("spmt_admit_in_use", "Weight units held by admitted computes.", float64(gs.InUse))
+	mw.Gauge("spmt_admit_waiting", "Requests queued for admission.", float64(gs.Waiting))
+	mw.Counter("spmt_admit_admitted_total", "Cold computes admitted through the gate.", float64(gs.Admitted))
+	mw.Counter("spmt_admit_bypassed_total", "Store-resolvable requests that bypassed the gate.", float64(gs.Bypassed))
+	mw.Counter("spmt_admit_rejected_total", "Requests shed by the admission gate, by cause.",
+		float64(gs.RejectedFull), obs.A("reason", "full"))
+	mw.Counter("spmt_admit_rejected_total", "Requests shed by the admission gate, by cause.",
+		float64(gs.RejectedDeadline), obs.A("reason", "deadline"))
+	mw.Counter("spmt_admit_rejected_total", "Requests shed by the admission gate, by cause.",
+		float64(gs.RejectedWait), obs.A("reason", "wait"))
+	mw.Counter("spmt_admit_rejected_total", "Requests shed by the admission gate, by cause.",
+		float64(gs.Canceled), obs.A("reason", "canceled"))
+	s.admitDecisions.Write(mw, "spmt_admit_decisions_total",
+		"Admission decisions by endpoint and decision.")
+
+	// Fault injector (testing only; absent in production processes).
+	if s.fault != nil {
+		fs := s.fault.Stats()
+		for _, op := range sortedKeys(fs.Decisions) {
+			mw.Counter("spmt_fault_decisions_total",
+				"Fault-injection coin flips by operation.", float64(fs.Decisions[op]), obs.A("op", op))
+		}
+		for _, op := range sortedKeys(fs.Injected) {
+			mw.Counter("spmt_fault_injected_total",
+				"Faults actually injected by operation.", float64(fs.Injected[op]), obs.A("op", op))
+		}
+	}
+
 	if s.cluster != nil {
 		cs := s.cluster.Stats()
 		mw.Gauge("spmt_shard_members", "Cluster member count.", float64(len(cs.Members)))
@@ -351,6 +435,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		mw.Counter("spmt_shard_replication_sweep_pushed_total", "Images pushed by re-replication sweeps.", float64(rs.SweepPushed))
 		mw.Counter("spmt_shard_replication_sweep_errors_total", "Check/push failures during re-replication sweeps.", float64(rs.SweepErrors))
 		mw.Gauge("spmt_shard_replication_last_sweep_epoch", "Membership epoch of the last completed sweep.", float64(rs.LastSweepEpoch))
+
+		bs := cs.Breaker
+		mw.Counter("spmt_breaker_opens_total", "Peer circuits opened after consecutive failures.", float64(bs.Opens))
+		mw.Counter("spmt_breaker_closes_total", "Peer circuits closed by a successful half-open probe.", float64(bs.Closes))
+		mw.Counter("spmt_breaker_fast_fails_total", "Peer calls fast-failed by an open circuit.", float64(bs.FastFails))
+		mw.Counter("spmt_breaker_half_open_probes_total", "Trial calls admitted by half-open circuits.", float64(bs.HalfOpenProbes))
+		mw.Gauge("spmt_breaker_open_circuits", "Peer circuits currently open.", float64(len(bs.Open)))
 	}
 
 	s.httpReqs.Write(mw, "spmt_http_requests_total", "HTTP requests by endpoint pattern and status code.")
@@ -395,6 +486,11 @@ func sortedKeys[V any](m map[string]V) []string {
 // health, and pprof. It is deliberately not part of Handler() — the
 // profiling endpoints never belong on the client-facing port; /metrics
 // appears on both so single-listener deployments can still be scraped.
+//
+// Health is split in two: /healthz is pure liveness (the process is up
+// and serving — restart it if this fails), while /readyz is readiness
+// (route traffic here?) and answers 503 while the node is draining for
+// shutdown or its admission queue is saturated.
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -402,12 +498,30 @@ func (s *Server) OpsHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n") //nolint:errcheck // client went away
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleReadyz answers the readiness probe: 200 while the node should
+// receive traffic, 503 while it is draining for shutdown or its
+// admission queue is saturated (new work would only be shed anyway).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n") //nolint:errcheck // client went away
+	case s.gate.Saturated():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "saturated\n") //nolint:errcheck // client went away
+	default:
+		io.WriteString(w, "ready\n") //nolint:errcheck // client went away
+	}
 }
 
 // Tracer exposes the server's trace ring (for tests and embedding).

@@ -41,11 +41,14 @@ import (
 	"slices"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/admit"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/engine/codec"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/workload"
@@ -56,6 +59,33 @@ import (
 // well under 1 MB).
 const maxBodyBytes = 1 << 20
 
+// Config carries the overload-safety knobs. The zero value disables
+// all of them (no admission gate, no default deadline, no fault
+// injection) — the library default; the spmt-server binary enables
+// admission and deadlines via flags.
+type Config struct {
+	// DefaultDeadline is the per-request time budget minted for /v1
+	// requests that arrive without an X-Spmt-Deadline header (0 = no
+	// deadline). It propagates across every cluster hop, shrinking at
+	// each leg, and cancels engine work when spent (→ 504).
+	DefaultDeadline time.Duration
+	// AdmitCapacity enables the cost-tiered admission gate with the
+	// given weighted concurrency (0 = gate disabled). Store-resolvable
+	// requests bypass the gate; cold computes queue (bounded) and shed
+	// with 429 + Retry-After.
+	AdmitCapacity int
+	// AdmitQueue bounds the gate's wait queue (0 = 4×capacity).
+	AdmitQueue int
+	// AdmitMaxWait bounds one request's queue wait (0 = 2s).
+	AdmitMaxWait time.Duration
+	// Fault installs a deterministic fault injector whose stats are
+	// exposed under /v1/stats and /metrics (testing only; nil in
+	// production). Wiring the injector into the disk tier and peer
+	// transports is the caller's job — this reference only makes the
+	// injection observable.
+	Fault *fault.Injector
+}
+
 // Server shares one engine across all requests.
 type Server struct {
 	eng      *engine.Engine
@@ -64,9 +94,16 @@ type Server struct {
 	requests atomic.Uint64
 	sweep    sweeper
 
-	tracer   *obs.Tracer
-	httpReqs *obs.CounterVec   // by endpoint pattern, status code
-	httpDur  *obs.HistogramVec // by endpoint pattern
+	gate            *admit.Gate // nil = admission disabled
+	defaultDeadline time.Duration
+	fault           *fault.Injector // nil = no injection
+	draining        atomic.Bool
+	httpPanics      atomic.Uint64
+
+	tracer         *obs.Tracer
+	httpReqs       *obs.CounterVec   // by endpoint pattern, status code
+	httpDur        *obs.HistogramVec // by endpoint pattern
+	admitDecisions *obs.CounterVec   // by endpoint, decision
 }
 
 // New builds a standalone Server over the given engine (nil selects a
@@ -78,6 +115,12 @@ func New(eng *engine.Engine) *Server { return NewCluster(eng, nil) }
 // engine.Options.Remote wired to shard.NewFetcher over the same
 // cluster, so store misses pull artifact images from their owners.
 func NewCluster(eng *engine.Engine, cl *shard.Cluster) *Server {
+	return NewWithConfig(eng, cl, Config{})
+}
+
+// NewWithConfig builds a Server with explicit overload-safety
+// configuration (see Config).
+func NewWithConfig(eng *engine.Engine, cl *shard.Cluster, cfg Config) *Server {
 	if eng == nil {
 		eng = engine.New(engine.Options{})
 	}
@@ -86,17 +129,32 @@ func NewCluster(eng *engine.Engine, cl *shard.Cluster) *Server {
 		node = cl.Self()
 	}
 	s := &Server{
-		eng:      eng,
-		cluster:  cl,
-		codec:    codec.New(),
-		tracer:   obs.NewTracer(node, 0, 0),
-		httpReqs: obs.NewCounterVec("endpoint", "code"),
-		httpDur:  obs.NewHistogramVec(httpDurationBuckets, "endpoint"),
+		eng:             eng,
+		cluster:         cl,
+		codec:           codec.New(),
+		defaultDeadline: cfg.DefaultDeadline,
+		fault:           cfg.Fault,
+		tracer:          obs.NewTracer(node, 0, 0),
+		httpReqs:        obs.NewCounterVec("endpoint", "code"),
+		httpDur:         obs.NewHistogramVec(httpDurationBuckets, "endpoint"),
+		admitDecisions:  obs.NewCounterVec("endpoint", "decision"),
+	}
+	if cfg.AdmitCapacity > 0 {
+		s.gate = admit.NewGate(admit.Options{
+			Capacity:   cfg.AdmitCapacity,
+			QueueLimit: cfg.AdmitQueue,
+			MaxWait:    cfg.AdmitMaxWait,
+		})
 	}
 	s.sweep.s = s
 	s.wireSweeper()
 	return s
 }
+
+// SetDraining marks the server as shutting down: /readyz answers 503
+// so load balancers stop routing, while in-flight requests and
+// /healthz (liveness) are unaffected.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Close stops the server's background work (the re-replication
 // sweeper), waiting for an active sweep to finish. It does not close
@@ -129,6 +187,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s.observe(mux)
 }
 
@@ -252,12 +311,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if s.routeToOwner(w, r, expt.BenchKey(req.Bench, sz), body) {
+	key := expt.BenchKey(req.Bench, sz)
+	if s.routeToOwner(w, r, key, body) {
 		return
 	}
+	release, ok := s.admitCompute(w, r, "/v1/analyze", weightAnalyze, s.eng.Has(key))
+	if !ok {
+		return
+	}
+	defer release()
 	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, computeStatus(http.StatusBadRequest, err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, analyzeResponse{
@@ -333,18 +398,24 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 	}
 	// Route by the spawn table's own artifact key: the policy is
 	// validated, so TableKey cannot fail (and "none" is excluded).
-	if key, err := expt.TableKey(req.Bench, sz, req.Policy); err == nil &&
-		s.routeToOwner(w, r, key, body) {
+	tableKey, keyErr := expt.TableKey(req.Bench, sz, req.Policy)
+	if keyErr == nil && s.routeToOwner(w, r, tableKey, body) {
 		return
 	}
+	warm := keyErr == nil && s.eng.Has(tableKey) && s.eng.Has(expt.BenchKey(req.Bench, sz))
+	release, ok := s.admitCompute(w, r, "/v1/pairs", weightTable, warm)
+	if !ok {
+		return
+	}
+	defer release()
 	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, computeStatus(http.StatusBadRequest, err), err)
 		return
 	}
 	tab, err := suite.Table(b, req.Policy)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
 		return
 	}
 	resp := pairsResponse{
@@ -432,17 +503,24 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Reassign:  req.Reassign,
 		MinSize:   req.MinSize,
 	}
-	if s.routeToOwner(w, r, expt.SimKey(sz, sp), body) {
+	simKey := expt.SimKey(sz, sp)
+	if s.routeToOwner(w, r, simKey, body) {
 		return
 	}
+	warm := s.eng.Has(simKey) && s.eng.Has(expt.BenchKey(req.Bench, sz))
+	release, ok := s.admitCompute(w, r, "/v1/simulate", weightTable, warm)
+	if !ok {
+		return
+	}
+	defer release()
 	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, computeStatus(http.StatusBadRequest, err), err)
 		return
 	}
 	res, err := suite.Sim(b, sp)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, simulateResponse{
@@ -493,14 +571,23 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	if s.routeToOwner(w, r, figKey, nil) {
 		return
 	}
+	// Figures fan a whole sweep into the engine and have no single
+	// store artifact to probe for warmness, so they are always gated as
+	// heavy; a warm repeat still admits instantly and releases the gate
+	// in microseconds.
+	release, ok := s.admitCompute(w, r, "/v1/figures/{id}", weightFigure, false)
+	if !ok {
+		return
+	}
+	defer release()
 	suite, err := expt.NewSuiteEngineCtx(r.Context(), s.eng, sz, names)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
 		return
 	}
 	tab, err := suite.Run(id)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, figureResponse{
@@ -579,12 +666,25 @@ type statsResponse struct {
 	// ?scope=local, which is what members serve each other).
 	Shard   *shard.Stats  `json:"shard,omitempty"`
 	Cluster *clusterStats `json:"cluster,omitempty"`
+	// Admit and Fault are the overload-safety views: admission-gate
+	// counters (present when the gate is enabled) and fault-injector
+	// counters (testing only).
+	Admit *admit.Stats `json:"admit,omitempty"`
+	Fault *fault.Stats `json:"fault,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Engine:   s.eng.Stats(),
 		Requests: s.requests.Load(),
+	}
+	if s.gate != nil {
+		gs := s.gate.Stats()
+		resp.Admit = &gs
+	}
+	if s.fault != nil {
+		fs := s.fault.Stats()
+		resp.Fault = &fs
 	}
 	if s.cluster != nil {
 		st := s.cluster.Stats()

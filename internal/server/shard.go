@@ -18,6 +18,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"log/slog"
 	"net/http"
@@ -103,10 +104,16 @@ func (s *Server) forwardTo(ctx context.Context, w http.ResponseWriter, r *http.R
 	peer string, body []byte, span *obs.Span) (handled bool, reason shard.FallbackReason) {
 	resp, err := s.cluster.Forward(ctx, peer, r.Method, r.URL.RequestURI(), body)
 	if err != nil {
+		reason := shard.FallbackTransport
+		if errors.Is(err, shard.ErrBreakerOpen) {
+			// Fast-fail: the breaker refused before touching the network,
+			// so the replica retry / local fallback starts immediately.
+			reason = shard.FallbackBreaker
+		}
 		slog.Warn("server: forward failed",
 			"method", r.Method, "path", r.URL.Path, "peer", peer, "err", err,
 			"trace", obs.TraceIDFrom(ctx))
-		return false, shard.FallbackTransport
+		return false, reason
 	}
 	defer resp.Body.Close()
 	// From here the peer handled the request (and recorded its own
@@ -268,6 +275,9 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 			if err != nil {
 				slog.Warn("server: batch fan-out unreachable",
 					"peer", peer, "specs", len(idxs), "err", err, "trace", obs.TraceIDFrom(fctx))
+				if errors.Is(err, shard.ErrBreakerOpen) {
+					return shard.FallbackBreaker
+				}
 				return shard.FallbackTransport
 			}
 			span.SetAttr("peer", peer)
@@ -337,14 +347,46 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 		}
 	}
 
+	// Admission: the entry node gates its own share of the grid before
+	// the stream starts (a rejection must be a clean whole-request 429,
+	// never a broken half-stream). Remote groups are gated by their
+	// owners; fallback recomputes stay ungated because by then the
+	// stream is already committed — availability over shedding.
+	selfCold, selfOwned := 0, 0
+	for _, owner := range order {
+		if owner == s.cluster.Self() || owner == "" {
+			for _, i := range groups[owner] {
+				selfOwned++
+				if !s.eng.Has(expt.SimKey(sz, resolved[i])) {
+					selfCold++
+				}
+			}
+		}
+	}
+	release := func() {}
+	if selfOwned > 0 {
+		var ok bool
+		if release, ok = s.admitCompute(w, r, "/v1/batch", selfCold, selfCold == 0); !ok {
+			return
+		}
+	}
+	var localWG sync.WaitGroup
 	for _, owner := range order {
 		idxs := groups[owner]
 		if owner == s.cluster.Self() || owner == "" {
-			go runLocal(idxs)
+			localWG.Add(1)
+			go func(idxs []int) {
+				defer localWG.Done()
+				runLocal(idxs)
+			}(idxs)
 		} else {
 			go runRemote(owner, idxs)
 		}
 	}
+	go func() {
+		localWG.Wait()
+		release()
+	}()
 
 	// Merge in request order, flushing each line as soon as it and all
 	// its predecessors are done — the single-node stream contract.

@@ -31,6 +31,14 @@ import (
 // disagree about membership.
 const ForwardedHeader = "X-Spmt-Forwarded"
 
+// DeadlineHeader carries a request's remaining time budget, in whole
+// milliseconds, across cluster hops. The entry node mints it (from
+// the caller's deadline or -default-deadline), every Forward/fetch
+// leg re-derives it from the sender's context — so it shrinks
+// naturally at each hop — and the receiver applies it as a context
+// deadline, cancelling engine work the moment the budget is spent.
+const DeadlineHeader = "X-Spmt-Deadline"
+
 // ArtifactKindHeader carries the codec kind tag of an artifact image
 // served by GET /v1/artifacts (and pushed by PUT /v1/artifacts).
 const ArtifactKindHeader = "X-Spmt-Artifact-Kind"
@@ -119,6 +127,18 @@ type Options struct {
 	// simply falls back to local compute — correct, just duplicated
 	// work.
 	ProxyHeaderTimeout time.Duration
+	// BreakerFailures is the consecutive transport/5xx failure count
+	// that opens a peer's circuit breaker (0 selects the default 5;
+	// < 0 disables the breaker entirely).
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit fast-fails before
+	// admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// WrapTransport, when set, wraps every peer HTTP transport (proxy,
+	// fetch, control-plane) — the seam the fault injector uses to
+	// impose peer errors, latency, and hangs without touching
+	// production call sites.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 }
 
 // ReplicationStats is the R=2 write-through and re-replication view,
@@ -206,6 +226,8 @@ type Stats struct {
 	ArtifactsServed uint64 `json:"artifacts_served"`
 	// Replication is the R=2 write-through / sweep view.
 	Replication ReplicationStats `json:"replication"`
+	// Breaker is the per-peer circuit-breaker view.
+	Breaker BreakerStats `json:"breaker"`
 }
 
 // Cluster is one node's view of the shard cluster: the live member
@@ -219,6 +241,7 @@ type Cluster struct {
 	proxy        *http.Client
 	fetch        *http.Client
 	ctl          *http.Client
+	breaker      *breaker
 
 	// mu guards the membership view: the member list, the full ring
 	// over it, the suspect set, and the effective ring (full minus
@@ -356,6 +379,16 @@ func New(self string, members []string, opts Options) (*Cluster, error) {
 		fetch: &http.Client{Transport: &http.Transport{DialContext: dial}, Timeout: opts.FetchTimeout},
 		ctl:   &http.Client{Transport: &http.Transport{DialContext: dial}, Timeout: opts.CtlTimeout},
 	}
+	bf := opts.BreakerFailures
+	if bf == 0 {
+		bf = 5
+	}
+	c.breaker = newBreaker(bf, opts.BreakerCooldown)
+	if opts.WrapTransport != nil {
+		c.proxy.Transport = opts.WrapTransport(c.proxy.Transport)
+		c.fetch.Transport = opts.WrapTransport(c.fetch.Transport)
+		c.ctl.Transport = opts.WrapTransport(c.ctl.Transport)
+	}
 	c.epoch = 1
 	c.members = NewRing(norm, 1).Nodes() // sorted, deduped
 	c.rebuildLocked()
@@ -438,6 +471,7 @@ func (c *Cluster) Stats() Stats {
 			SweepErrors:       c.sweepErrors.Load(),
 			LastSweepEpoch:    c.lastSweepEpoch.Load(),
 		},
+		Breaker: c.breaker.stats(),
 	}
 	if len(s.Suspects) == 0 {
 		s.Suspects = nil
@@ -537,25 +571,46 @@ func setTraceHeader(ctx context.Context, req *http.Request) {
 	}
 }
 
+// setDeadlineHeader stamps the context's remaining budget onto an
+// intra-cluster request as whole milliseconds (floor 1ms: a positive
+// remainder must never round to "already expired" on the receiver).
+func setDeadlineHeader(ctx context.Context, req *http.Request) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	req.Header.Set(DeadlineHeader, fmt.Sprintf("%d", ms))
+}
+
 // Forward sends the (already-read) request body to node's
 // path-and-query, marked with ForwardedHeader so the receiver computes
 // locally. The caller owns the returned response and must close its
 // body; a nil response with an error means the node was unreachable
 // and the caller should fall back to the replica or local compute.
 func (c *Cluster) Forward(ctx context.Context, node, method, pathQuery string, body []byte) (*http.Response, error) {
+	if err := c.breaker.allow(node); err != nil {
+		return nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, method, node+pathQuery, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	setTraceHeader(ctx, req)
+	setDeadlineHeader(ctx, req)
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.proxy.Do(req)
 	if err != nil {
+		c.breaker.report(node, false)
 		return nil, err
 	}
+	c.breaker.report(node, !TransientStatus(resp.StatusCode))
 	c.proxied.Add(1)
 	return resp, nil
 }
@@ -563,16 +618,22 @@ func (c *Cluster) Forward(ctx context.Context, node, method, pathQuery string, b
 // GetJSON fetches node's path and decodes the JSON response into v
 // (used by the cluster-aggregate stats view and membership pulls).
 func (c *Cluster) GetJSON(ctx context.Context, node, path string, v any) error {
+	if err := c.breaker.allow(node); err != nil {
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+path, nil)
 	if err != nil {
 		return err
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	setTraceHeader(ctx, req)
+	setDeadlineHeader(ctx, req)
 	resp, err := c.fetch.Do(req)
 	if err != nil {
+		c.breaker.report(node, false)
 		return err
 	}
+	c.breaker.report(node, !TransientStatus(resp.StatusCode))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("shard: %s%s: status %d", node, path, resp.StatusCode)
@@ -584,6 +645,9 @@ func (c *Cluster) GetJSON(ctx context.Context, node, path string, v any) error {
 // key. ok=false with a nil error means the node answered but does not
 // hold the artifact (or its type is memory-only).
 func (c *Cluster) FetchArtifact(ctx context.Context, node, key string) (kind string, data []byte, ok bool, err error) {
+	if err := c.breaker.allow(node); err != nil {
+		return "", nil, false, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		node+"/v1/artifacts?key="+url.QueryEscape(key), nil)
 	if err != nil {
@@ -591,10 +655,13 @@ func (c *Cluster) FetchArtifact(ctx context.Context, node, key string) (kind str
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	setTraceHeader(ctx, req)
+	setDeadlineHeader(ctx, req)
 	resp, err := c.fetch.Do(req)
 	if err != nil {
+		c.breaker.report(node, false)
 		return "", nil, false, err
 	}
+	c.breaker.report(node, !TransientStatus(resp.StatusCode))
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
@@ -619,6 +686,9 @@ func (c *Cluster) FetchArtifact(ctx context.Context, node, key string) (kind str
 // an image, so an already-replicated key costs one round trip and no
 // payload.
 func (c *Cluster) CheckArtifact(ctx context.Context, node, key string) (bool, error) {
+	if err := c.breaker.allow(node); err != nil {
+		return false, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		node+"/v1/artifacts?check=1&key="+url.QueryEscape(key), nil)
 	if err != nil {
@@ -626,10 +696,13 @@ func (c *Cluster) CheckArtifact(ctx context.Context, node, key string) (bool, er
 	}
 	req.Header.Set(ForwardedHeader, c.self)
 	setTraceHeader(ctx, req)
+	setDeadlineHeader(ctx, req)
 	resp, err := c.fetch.Do(req)
 	if err != nil {
+		c.breaker.report(node, false)
 		return false, err
 	}
+	c.breaker.report(node, !TransientStatus(resp.StatusCode))
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNoContent:
@@ -646,6 +719,9 @@ func (c *Cluster) CheckArtifact(ctx context.Context, node, key string) (bool, er
 // PUT /v1/artifacts). stored=false with a nil error means the node
 // already held the key.
 func (c *Cluster) PushArtifact(ctx context.Context, node, key, kind string, data []byte) (stored bool, err error) {
+	if err := c.breaker.allow(node); err != nil {
+		return false, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
 		node+"/v1/artifacts?key="+url.QueryEscape(key), bytes.NewReader(data))
 	if err != nil {
@@ -655,10 +731,13 @@ func (c *Cluster) PushArtifact(ctx context.Context, node, key, kind string, data
 	req.Header.Set(ArtifactKindHeader, kind)
 	req.Header.Set("Content-Type", "application/octet-stream")
 	setTraceHeader(ctx, req)
+	setDeadlineHeader(ctx, req)
 	resp, err := c.fetch.Do(req)
 	if err != nil {
+		c.breaker.report(node, false)
 		return false, err
 	}
+	c.breaker.report(node, !TransientStatus(resp.StatusCode))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return false, fmt.Errorf("shard: push %q to %s: status %d", key, node, resp.StatusCode)
@@ -683,7 +762,11 @@ type HealthDoc struct {
 }
 
 // ProbeHealth performs one health probe against node, bounded by the
-// context's deadline.
+// context's deadline. Probes bypass the circuit breaker's allow check
+// (they are the out-of-band recovery path and must never be
+// fast-failed) but their outcomes feed it, so a successful probe
+// closes an open circuit even with no request traffic to half-open
+// it.
 func (c *Cluster) ProbeHealth(ctx context.Context, node string) (HealthDoc, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+healthPath, nil)
 	if err != nil {
@@ -692,8 +775,10 @@ func (c *Cluster) ProbeHealth(ctx context.Context, node string) (HealthDoc, erro
 	req.Header.Set(ForwardedHeader, c.self)
 	resp, err := c.ctl.Do(req)
 	if err != nil {
+		c.breaker.report(node, false)
 		return HealthDoc{}, err
 	}
+	c.breaker.report(node, !TransientStatus(resp.StatusCode))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return HealthDoc{}, fmt.Errorf("shard: probe %s: status %d", node, resp.StatusCode)

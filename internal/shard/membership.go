@@ -225,6 +225,7 @@ func (c *Cluster) RemoveMember(node string) (Membership, bool, error) {
 	c.rebuildLocked()
 	ms := Membership{Epoch: c.epoch, Members: slices.Clone(c.members)}
 	c.mu.Unlock()
+	c.breaker.forget(n)
 	c.notify(ChangeMembership)
 	return ms, true, nil
 }

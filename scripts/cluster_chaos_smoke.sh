@@ -6,7 +6,10 @@
 # single pipeline job (replicas absorb the fault), then rejoins the
 # dead member with an empty store and asserts re-replication converges
 # — the rejoined node serves the suite as an entry point, again with
-# zero pipeline recompute.
+# zero pipeline recompute. A final scenario restarts that member with
+# seeded peer-latency fault injection and asserts the suite is still
+# byte-identical. Node readiness is gated on /readyz throughout (the
+# liveness-only /healthz would pass during drain or gate saturation).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,7 +59,7 @@ wait_up() { # url desc
   done
   fail "$2 never came up"
 }
-for port in "$OPS0" "$OPS1" "$OPS2"; do wait_up "http://127.0.0.1:$port/healthz" "ops $port"; done
+for port in "$OPS0" "$OPS1" "$OPS2"; do wait_up "http://127.0.0.1:$port/readyz" "ops $port"; done
 for port in "$API0" "$API1" "$API2" "$APIREF"; do wait_up "http://127.0.0.1:$port/v1/stats" "api $port"; done
 
 metric() { # ops-port series -> value (0 if absent)
@@ -127,7 +130,8 @@ sweeps0=$(metric "$OPS0" spmt_shard_replication_sweeps_total | cut -d. -f1)
 sweeps1=$(metric "$OPS1" spmt_shard_replication_sweeps_total | cut -d. -f1)
 rm -rf "$STORE/node2"
 start_node 2 "$API2" "$OPS2" -join "http://127.0.0.1:$API0"
-wait_up "http://127.0.0.1:$OPS2/healthz" "rejoined ops $OPS2"
+NODE2_PID=${pids[${#pids[@]}-1]}
+wait_up "http://127.0.0.1:$OPS2/readyz" "rejoined ops $OPS2"
 wait_metric "$OPS0" spmt_shard_suspects 0 "node0 never readmitted the rejoined member"
 wait_metric "$OPS1" spmt_shard_suspects 0 "node1 never readmitted the rejoined member"
 
@@ -158,4 +162,20 @@ compare_suite "$LOG/rejoined" "$LOG/ref" "rejoined entry node2"
 runs2=$(pipeline_runs "$OPS2")
 [ "$runs2" = 0 ] || fail "rejoined node ran $runs2 pipeline jobs; re-replication must have made its arc warm"
 
-echo "cluster_chaos_smoke: OK (received=$received after rejoin; zero pipeline recompute degraded and rejoined)"
+# --- Fault injection: restart the member with seeded peer-latency ------
+# faults on its outbound transport. Half its peer calls stall 100ms,
+# yet every response it serves as an entry point must stay
+# byte-identical — latency degrades, bytes never do.
+{ kill -9 "$NODE2_PID" && wait "$NODE2_PID"; } 2>/dev/null || true
+wait_metric "$OPS0" spmt_shard_suspects 1 "node0 never suspected the restarting member"
+start_node 2 "$API2" "$OPS2" -join "http://127.0.0.1:$API0" \
+  -fault-inject 'peer.latency:0.5:100ms' -fault-seed 42
+wait_up "http://127.0.0.1:$OPS2/readyz" "fault-injected ops $OPS2"
+wait_metric "$OPS0" spmt_shard_suspects 0 "node0 never readmitted the fault-injected member"
+run_suite "http://127.0.0.1:$API2" "$LOG/faulty"
+compare_suite "$LOG/faulty" "$LOG/ref" "fault-injected entry node2"
+decisions=$(curl -fsS "http://127.0.0.1:$OPS2/metrics" |
+  awk '/^spmt_fault_decisions_total\{/{s+=$2} END{print s+0}' | cut -d. -f1)
+[ "$decisions" -gt 0 ] || fail "fault injector made no peer-call decisions on the injected node"
+
+echo "cluster_chaos_smoke: OK (received=$received after rejoin; zero recompute degraded/rejoined; $decisions fault decisions under injected latency)"

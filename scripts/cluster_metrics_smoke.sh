@@ -88,7 +88,16 @@ check_scrape() {
     spmt_http_request_duration_seconds_count \
     spmt_shard_members \
     spmt_shard_proxied_total \
-    spmt_traces_started_total; do
+    spmt_traces_started_total \
+    spmt_http_panics_total \
+    spmt_admit_capacity \
+    spmt_admit_in_use \
+    spmt_admit_admitted_total \
+    spmt_admit_bypassed_total \
+    spmt_admit_rejected_total \
+    spmt_breaker_opens_total \
+    spmt_breaker_fast_fails_total \
+    spmt_breaker_open_circuits; do
     if ! grep -q "^$series" "$out"; then
       echo "cluster_metrics_smoke: $url is missing series $series" >&2
       exit 1

@@ -193,6 +193,24 @@ func (c *Cache) evict() []*cacheEntry {
 	return evicted
 }
 
+// Remove discards the entry stored under key, if present, and reports
+// whether it was. Unlike eviction, removal does NOT invoke the OnEvict
+// callback: the caller wants the artifact gone from the store, not
+// demoted to the next tier.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.bytes -= ent.bytes
+	return true
+}
+
 // Len returns the number of resident artifacts.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -610,6 +610,22 @@ func (t *DiskTier) Put(key string, val any) {
 // artifact.
 func (t *DiskTier) Demote(key string, val any) { t.PutAsync(key, val) }
 
+// Remove discards the artifact stored (or pending) under key and
+// reports whether anything was dropped. A write already handed to the
+// background writer may still land afterwards; callers that need the
+// key gone for certain should Flush first (Engine.Drop does).
+func (t *DiskTier) Remove(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, pending := t.pending[key]
+	delete(t.pending, key)
+	el, resident := t.items[key]
+	if resident {
+		t.dropLocked(el)
+	}
+	return pending || resident
+}
+
 // evict removes least recently used artifact files until the byte
 // budget holds, always keeping the most recently used artifact.
 // Callers must hold t.mu.

@@ -210,6 +210,22 @@ func (e *Engine) Close() {
 	}
 }
 
+// Drop discards the artifact stored under key from every local tier —
+// memory and disk, with the async write queue flushed first so an
+// in-flight write-through cannot resurrect the key. It reports whether
+// any tier held the key. Drop exists for tests and cache-invalidation
+// tooling; it does not touch remote replicas.
+func (e *Engine) Drop(key string) bool {
+	dropped := e.mem.Remove(key)
+	if e.disk != nil {
+		e.disk.Flush()
+		if e.disk.Remove(key) {
+			dropped = true
+		}
+	}
+	return dropped
+}
+
 // WarmFromDisk promotes disk-resident artifacts into the memory tier —
 // the cold-start path for a server or CLI pointed at a warm store
 // directory — and returns how many artifacts were loaded. Only the
@@ -260,6 +276,9 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 	if j.Key != "" {
 		span, ctx := obs.StartSpan(ctx, "exec "+JobKind(j.Key), obs.A("key", j.Key))
 		defer span.End()
+		if IsSpeculative(ctx) {
+			span.SetAttr("speculative", "true")
+		}
 		// The memory peek exists only to split the mem/disk tier
 		// attribute; it records no stats and is skipped untraced.
 		memResident := false
@@ -339,6 +358,24 @@ func (e *Engine) Exec(ctx context.Context, j Job) (any, error) {
 			span.SetAttr("tier", "mem")
 			c.val, fromStore, completed = v, true, true
 			return c.val, nil
+		}
+		// Committed to computing: consult the request's admission hook.
+		// This is the authoritative gate — a warm classification made at
+		// the HTTP layer can be stale by now (the artifact evicted
+		// between probe and here), and only this point knows a compute
+		// is really about to happen.
+		if gate := computeGateFrom(ctx); gate != nil {
+			release, gerr := e.gateCompute(ctx, gate)
+			if gerr != nil {
+				span.SetAttr("tier", "rejected")
+				span.SetAttr("error", gerr.Error())
+				c.err = gerr
+				completed = true
+				return nil, gerr
+			}
+			if release != nil {
+				defer release()
+			}
 		}
 		span.SetAttr("tier", "computed")
 		c.val, c.err = e.run(ctx, j)

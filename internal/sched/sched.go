@@ -83,6 +83,12 @@ type Scheduler struct {
 
 	mu     sync.Mutex
 	global []*task
+	// spec is the low-priority speculative queue: claimed only by a
+	// fully-idle worker loop after its unfiltered scan of every demand
+	// queue (own deque, global, steal sweep) came up empty. Helping
+	// joins never claim from it, so speculative work can never run on
+	// the stack of a demand task nor delay a demand join.
+	spec []*task
 
 	// notify carries wake tokens to parked workers. A token is posted
 	// on every enqueue and consumed only by workers whose rescan is
@@ -96,13 +102,14 @@ type Scheduler struct {
 	// idle moment (their lender's Block has returned).
 	retire atomic.Int64
 
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	inline    atomic.Uint64
-	steals    atomic.Uint64
-	parks     atomic.Uint64
-	unparks   atomic.Uint64
-	subSpawns atomic.Uint64
+	submitted     atomic.Uint64
+	completed     atomic.Uint64
+	specSubmitted atomic.Uint64
+	inline        atomic.Uint64
+	steals        atomic.Uint64
+	parks         atomic.Uint64
+	unparks       atomic.Uint64
+	subSpawns     atomic.Uint64
 
 	kindMu sync.RWMutex
 	kinds  map[string]*atomic.Uint64
@@ -247,9 +254,11 @@ func (s *Scheduler) enqueue(w *worker, t *task) {
 
 // find claims the next runnable task for w: own deque newest-first,
 // then the global queue oldest-first, then a steal sweep over the
-// other workers' deques oldest-first. A nil g accepts any task; a
-// non-nil g restricts the claim to tasks descending from g (the
-// fully-strict helping rule — see package doc).
+// other workers' deques oldest-first, and — only on an unfiltered scan
+// that found no demand work at all — the speculative queue oldest-
+// first. A nil g accepts any task; a non-nil g restricts the claim to
+// tasks descending from g (the fully-strict helping rule — see package
+// doc) and never touches the speculative queue.
 func (s *Scheduler) find(w *worker, g *Group) *task {
 	w.mu.Lock()
 	for i := len(w.dq) - 1; i >= 0; i-- {
@@ -295,6 +304,17 @@ func (s *Scheduler) find(w *worker, g *Group) *task {
 		v.mu.Unlock()
 	}
 	s.wmu.RUnlock()
+
+	if g == nil {
+		s.mu.Lock()
+		if len(s.spec) > 0 {
+			t := s.spec[0]
+			s.spec = s.spec[1:]
+			s.mu.Unlock()
+			return t
+		}
+		s.mu.Unlock()
+	}
 	return nil
 }
 
@@ -483,6 +503,40 @@ func (s *Scheduler) Block(ctx context.Context, done <-chan struct{}) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// Speculate submits fn as a speculative task: it runs only when a
+// worker's unfiltered scan finds no demand work anywhere in the pool,
+// so speculation never delays a queued demand task. The returned done
+// channel closes when fn has finished or the task was withdrawn;
+// cancel withdraws the task if it has not started (after the task has
+// started, cancel is a no-op and done closes when fn returns). Both
+// are safe to use from any goroutine; cancel is idempotent.
+//
+// A wake token is posted like any enqueue so a fully-parked pool
+// notices the work; the woken worker still drains demand queues first
+// by construction of find.
+func (s *Scheduler) Speculate(kind string, fn func()) (done <-chan struct{}, cancel func()) {
+	s.countKind(kind)
+	t := &task{fn: fn, done: make(chan struct{})}
+	s.submitted.Add(1)
+	s.specSubmitted.Add(1)
+	s.mu.Lock()
+	s.spec = append(s.spec, t)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return t.done, func() {
+		// A won CAS means fn never ran and never will: the worker that
+		// eventually pops the task loses its claim CAS and drops it
+		// (run's failed-claim path does not touch done, so this close
+		// is the only one).
+		if t.state.CompareAndSwap(0, 2) {
+			close(t.done)
+		}
 	}
 }
 
@@ -684,9 +738,14 @@ type Stats struct {
 	// live right now (serving or awaiting retirement).
 	SubstitutesSpawned uint64 `json:"substitutes_spawned"`
 	SubstitutesAlive   int    `json:"substitutes_alive"`
-	// QueueDepth is the instantaneous total of queued tasks (global +
-	// every deque).
+	// QueueDepth is the instantaneous total of queued demand tasks
+	// (global + every deque); the speculative queue is counted
+	// separately in SpecQueued.
 	QueueDepth int `json:"queue_depth"`
+	// SpecSubmitted counts tasks ever submitted through Speculate;
+	// SpecQueued is the instantaneous speculative-queue depth.
+	SpecSubmitted uint64 `json:"spec_submitted"`
+	SpecQueued    int    `json:"spec_queued"`
 	// TasksByKind counts submissions by the caller-supplied kind label
 	// ("emu", "sim", "reach", "tile", …).
 	TasksByKind map[string]uint64 `json:"tasks_by_kind,omitempty"`
@@ -705,9 +764,11 @@ func (s *Scheduler) Stats() Stats {
 		Parks:              s.parks.Load(),
 		Unparks:            s.unparks.Load(),
 		SubstitutesSpawned: s.subSpawns.Load(),
+		SpecSubmitted:      s.specSubmitted.Load(),
 	}
 	s.mu.Lock()
 	st.QueueDepth = len(s.global)
+	st.SpecQueued = len(s.spec)
 	s.mu.Unlock()
 	st.PerWorker = make([]WorkerStats, s.fixed)
 	s.wmu.RLock()

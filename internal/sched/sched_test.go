@@ -369,3 +369,140 @@ func TestDefaultIsShared(t *testing.T) {
 		t.Fatalf("default workers = %d, want GOMAXPROCS", Default().Workers())
 	}
 }
+
+func TestSpeculateRunsWhenIdle(t *testing.T) {
+	s := New(2)
+	defer s.Close()
+	var ran atomic.Bool
+	done, _ := s.Speculate("spec", func() { ran.Store(true) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("speculative task never ran on an idle pool")
+	}
+	if !ran.Load() {
+		t.Fatal("done closed but fn did not run")
+	}
+	st := s.Stats()
+	if st.SpecSubmitted != 1 {
+		t.Fatalf("SpecSubmitted = %d, want 1", st.SpecSubmitted)
+	}
+	if st.TasksByKind["spec"] != 1 {
+		t.Fatalf("kind spec = %d, want 1", st.TasksByKind["spec"])
+	}
+}
+
+func TestSpeculateCancelBeforeStart(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	// Occupy the only worker so the speculative task stays queued.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.Do(context.Background(), "hold", func() { <-release })
+	}()
+	for s.Stats().TasksByKind["hold"] == 0 || s.Stats().QueueDepth > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var ran atomic.Bool
+	done, cancel := s.Speculate("spec", func() { ran.Store(true) })
+	cancel()
+	cancel() // idempotent
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not close done")
+	}
+	close(release)
+	wg.Wait()
+	// Let the worker pop (and drop) the withdrawn task.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().SpecQueued > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("withdrawn task never drained from the spec queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ran.Load() {
+		t.Fatal("cancelled speculative task ran")
+	}
+}
+
+func TestSpeculateYieldsToDemandWork(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	// Occupy the only worker, queue one speculative and then one
+	// demand task, release: the demand task must run first even though
+	// the speculative one was submitted earlier.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.Do(context.Background(), "hold", func() { <-release })
+	}()
+	for s.Stats().TasksByKind["hold"] == 0 || s.Stats().QueueDepth > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var mu sync.Mutex
+	var order []string
+	specDone, _ := s.Speculate("spec", func() {
+		mu.Lock()
+		order = append(order, "spec")
+		mu.Unlock()
+	})
+	demandDone := make(chan struct{})
+	go func() {
+		defer close(demandDone)
+		_ = s.Do(context.Background(), "demand", func() {
+			mu.Lock()
+			order = append(order, "demand")
+			mu.Unlock()
+		})
+	}()
+	// Wait until the demand task is actually queued before releasing.
+	for s.Stats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-demandDone
+	select {
+	case <-specDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("speculative task starved forever")
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "demand" || order[1] != "spec" {
+		t.Fatalf("execution order = %v, want [demand spec]", order)
+	}
+}
+
+func TestSpeculateNotClaimedByJoinHelper(t *testing.T) {
+	s := New(2)
+	defer s.Close()
+	// A Group.Wait help loop passes a non-nil g to find and must never
+	// claim speculative work. Pin it structurally: submit a spec task
+	// that blocks until the join completes — if Wait helped it, the
+	// join would deadlock on its own helper.
+	joined := make(chan struct{})
+	specStarted := make(chan struct{})
+	done, _ := s.Speculate("spec", func() {
+		close(specStarted)
+		<-joined
+	})
+	g := s.NewGroup()
+	for i := 0; i < 4; i++ {
+		g.Go("t", func() { time.Sleep(5 * time.Millisecond) })
+	}
+	g.Wait()
+	close(joined)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("speculative task never finished")
+	}
+}

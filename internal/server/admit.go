@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/admit"
+	"repro/internal/engine"
 )
 
 // Endpoint weights, in gate units (≈ concurrently-pinned engine jobs).
@@ -29,6 +31,53 @@ const (
 	weightTable   = 2
 	weightFigure  = 4
 )
+
+// admitState tracks, per request, whether the request already holds
+// gate capacity — the handshake between the up-front admitCompute call
+// and the engine-side compute gate. Once a request has acquired (or a
+// leaf acquisition succeeded), nested compute-gate consultations pass
+// for free: the request's weight already covers its whole job tree,
+// and re-acquiring per dependency would deadlock a small gate against
+// itself.
+type admitState struct {
+	held atomic.Bool
+}
+
+type admitStateKey struct{}
+
+// admitStateFrom extracts the request's admitState (nil outside the
+// middleware, e.g. direct handler tests).
+func admitStateFrom(ctx context.Context) *admitState {
+	st, _ := ctx.Value(admitStateKey{}).(*admitState)
+	return st
+}
+
+// withComputeGate installs the engine-side admission hook (and its
+// per-request state) on ctx: when Exec commits to computing a keyed
+// artifact under this request and the request does not already hold
+// gate capacity — the warm-probe classification was stale — a weight-1
+// slot is acquired (or the compute refused) at that moment.
+func (s *Server) withComputeGate(ctx context.Context) context.Context {
+	st := &admitState{}
+	ctx = context.WithValue(ctx, admitStateKey{}, st)
+	return engine.WithComputeGate(ctx, func(c context.Context) (func(), error) {
+		if st.held.Load() {
+			return nil, nil
+		}
+		release, err := s.gate.Acquire(c, 1)
+		if err != nil {
+			s.admitDecisions.Add(1, "compute", rejectDecision(err))
+			return nil, fmt.Errorf("overloaded: %w", err)
+		}
+		s.admitDecisions.Add(1, "compute", "recheck")
+		// First acquisition covers the request's remaining job tree.
+		st.held.Store(true)
+		return func() {
+			st.held.Store(false)
+			release()
+		}, nil
+	})
+}
 
 // admitCompute gates one cold compute (or records a warm bypass).
 // ok=false means the rejection response has been written and the
@@ -46,33 +95,71 @@ func (s *Server) admitCompute(w http.ResponseWriter, r *http.Request, endpoint s
 	release, err := s.gate.Acquire(r.Context(), weight)
 	if err == nil {
 		s.admitDecisions.Add(1, endpoint, "admit")
+		if st := admitStateFrom(r.Context()); st != nil {
+			st.held.Store(true)
+			inner := release
+			release = func() {
+				st.held.Store(false)
+				inner()
+			}
+		}
 		return release, true
 	}
-	decision := "reject_wait"
-	switch {
-	case errors.Is(err, admit.ErrSaturated):
-		decision = "reject_full"
-	case errors.Is(err, admit.ErrDeadline):
-		decision = "reject_deadline"
-	case errors.Is(err, context.Canceled):
-		decision = "canceled"
+	s.admitDecisions.Add(1, endpoint, rejectDecision(err))
+	if errors.Is(err, admit.ErrDeadline) && r.Context().Err() != nil {
+		// The request's own budget is spent — that is deadline
+		// exhaustion (504), not overload shedding (429): retrying
+		// immediately would be correct for the client, waiting
+		// Retry-After would not help.
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exhausted: %w", err))
+		return nil, false
 	}
-	s.admitDecisions.Add(1, endpoint, decision)
-	// Every rejection is a 429: the request was well-formed, the node
-	// is shedding. Retry-After tells a well-behaved client when the
-	// backlog should have moved.
+	// Every other rejection is a 429: the request was well-formed, the
+	// node is shedding. Retry-After tells a well-behaved client when
+	// the backlog should have moved.
 	w.Header().Set("Retry-After", strconv.Itoa(s.gate.RetryAfter()))
 	writeError(w, http.StatusTooManyRequests, fmt.Errorf("overloaded: %w", err))
 	return nil, false
 }
 
+// rejectDecision labels a gate rejection for the decision counter.
+func rejectDecision(err error) string {
+	switch {
+	case errors.Is(err, admit.ErrSaturated):
+		return "reject_full"
+	case errors.Is(err, admit.ErrDeadline):
+		return "reject_deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "reject_wait"
+}
+
 // computeStatus maps a compute error onto its HTTP status: deadline
 // exhaustion (minted locally or propagated via X-Spmt-Deadline) is a
 // 504 — the request was valid but its time budget ran out mid-compute
-// — anything else keeps the handler's own fallback status.
+// — and a compute-time admission rejection surfaced through the engine
+// is the same 429 the up-front gate would have sent. Anything else
+// keeps the handler's own fallback status.
 func computeStatus(fallback int, err error) int {
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
 	}
+	if errors.Is(err, admit.ErrSaturated) || errors.Is(err, admit.ErrWaitTimeout) ||
+		errors.Is(err, admit.ErrDeadline) {
+		return http.StatusTooManyRequests
+	}
 	return fallback
+}
+
+// computeError writes a compute-path error response, attaching the
+// gate's Retry-After hint when the status is an admission 429. All
+// handler compute-error paths funnel through here so an engine-
+// surfaced rejection carries the same headers an up-front one does.
+func (s *Server) computeError(w http.ResponseWriter, fallback int, err error) {
+	status := computeStatus(fallback, err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.gate.RetryAfter()))
+	}
+	writeError(w, status, err)
 }

@@ -247,7 +247,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	suite, err := expt.NewSuiteEngineCtx(r.Context(), s.eng, sz, benches)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
+		s.computeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	reqs := make([]expt.SimReq, len(resolved))
@@ -295,6 +295,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if sl.err != nil {
 				line = batchError{Index: i, Error: sl.err.Error()}
 			} else {
+				// The batch stream IS the request stream for the
+				// predictor: each completed spec is observed in request
+				// order, so a sweep teaches its own progression.
+				s.noteSim(sz, resolved[i])
 				line = batchItem{
 					Index: i,
 					simulateResponse: simulateResponse{

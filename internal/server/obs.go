@@ -95,14 +95,33 @@ func (s *Server) observe(mux *http.ServeMux) http.Handler {
 			// the admission gate folds into its wait bound.
 			var cancel context.CancelFunc
 			if h := r.Header.Get(shard.DeadlineHeader); h != "" {
-				if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
-					ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+				if ms, err := strconv.ParseInt(h, 10, 64); err == nil {
+					if ms > 0 {
+						ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+					} else {
+						// An explicit "0" (or below) is a SPENT budget,
+						// not an absent one: adopt an already-expired
+						// context so cold compute rejects as 504
+						// immediately while store-resolvable work still
+						// answers. Ignoring it would grant this hop an
+						// unbounded budget the sender never had.
+						ctx, cancel = context.WithTimeout(ctx, -time.Millisecond)
+					}
 				}
 			} else if s.defaultDeadline > 0 {
 				ctx, cancel = context.WithTimeout(ctx, s.defaultDeadline)
 			}
 			if cancel != nil {
 				defer cancel()
+			}
+			// Arm the engine-side admission hook: a request classified
+			// warm by the handler's index probe bypasses the HTTP gate,
+			// but eviction can turn it cold by the time Exec commits to
+			// computing — the hook re-checks at that moment, closing the
+			// probe/compute TOCTOU window. Requests that acquired the
+			// gate up front pass for free via admitState.
+			if s.gate != nil {
+				ctx = s.withComputeGate(ctx)
 			}
 			tr := s.tracer.Trace(r.Header.Get(obs.TraceHeader))
 			ctx = obs.ContextWithTrace(ctx, tr)
@@ -374,6 +393,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		float64(gs.Canceled), obs.A("reason", "canceled"))
 	s.admitDecisions.Write(mw, "spmt_admit_decisions_total",
 		"Admission decisions by endpoint and decision.")
+
+	// Speculative precomputation (present only with -speculate: the
+	// families would be all-zero noise on a server that cannot move
+	// them).
+	if s.spec != nil {
+		sp := s.spec.stats()
+		mw.Counter("spmt_spec_predictions_total", "Successor predictions produced by the spawn-point predictor.", float64(sp.Predictions))
+		mw.Counter("spmt_spec_launches_total", "Speculative artifact computations launched on idle workers.", float64(sp.Launches))
+		mw.Counter("spmt_spec_hits_total", "Speculatively-launched artifacts later requested on the demand path.", float64(sp.Hits))
+		mw.Counter("spmt_spec_withdrawn_total", "Predictions stood down for saturation or drain.", float64(sp.Withdrawn))
+		mw.Counter("spmt_spec_skipped_total", "Predictions vetoed as already stored or not self-owned.", float64(sp.Skipped))
+		mw.Counter("spmt_spec_errors_total", "Speculative launches that failed.", float64(sp.Errors))
+		mw.Counter("spmt_spec_dropped_total", "Predictions shed by the bounded queue.", float64(sp.Dropped))
+		mw.Gauge("spmt_spec_queue_depth", "Predictions queued for launch.", float64(sp.QueueDepth))
+		mw.Gauge("spmt_spec_wasted_bytes", "Store bytes held by launched artifacts no demand request has asked for.", float64(sp.WastedBytes))
+		mw.Gauge("spmt_spec_accuracy", "Hits/launches — the spawn-scheme accuracy analogue.", sp.Accuracy)
+		mw.Gauge("spmt_spec_predictor_states", "Source keys tracked by the transition table.", float64(sp.Predictor.States))
+		mw.Counter("spmt_spec_predictor_observations_total", "Transitions recorded by the predictor.", float64(sp.Predictor.Observations))
+		mw.Counter("spmt_spec_predictor_evictions_total", "Predictor states dropped by the LRU bound.", float64(sp.Predictor.Evictions))
+	}
 
 	// Fault injector (testing only; absent in production processes).
 	if s.fault != nil {

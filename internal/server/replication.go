@@ -29,6 +29,10 @@ import (
 // on a peer that dies mid-sweep).
 const sweepCallTimeout = 30 * time.Second
 
+// defaultReplRepairInterval paces the drop-repair tick (see
+// Config.ReplRepairInterval).
+const defaultReplRepairInterval = 2 * time.Second
+
 // sweeper serialises re-replication sweeps: concurrent triggers
 // coalesce into one "dirty" re-run, so a gossip storm costs at most
 // one extra sweep, and Close waits for the active sweep to finish.
@@ -40,6 +44,10 @@ type sweeper struct {
 	dirty  bool
 	closed bool
 	wg     sync.WaitGroup
+
+	// stopRepair ends the drop-repair tick goroutine (nil when the
+	// server runs without a cluster or disk tier).
+	stopRepair chan struct{}
 }
 
 // trigger schedules a sweep (or marks the running one dirty).
@@ -61,11 +69,17 @@ func (sw *sweeper) trigger() {
 	go sw.loop()
 }
 
-// close stops new sweeps and waits for the active one.
+// close stops the repair tick and new sweeps, then waits for the
+// active sweep.
 func (sw *sweeper) close() {
 	sw.mu.Lock()
 	sw.closed = true
+	stop := sw.stopRepair
+	sw.stopRepair = nil
 	sw.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
 	sw.wg.Wait()
 }
 
@@ -155,8 +169,9 @@ func (s *Server) runSweep() {
 }
 
 // wireSweeper hooks the sweeper into the cluster's change
-// notifications. Called once from NewCluster.
-func (s *Server) wireSweeper() {
+// notifications and starts the drop-repair tick. Called once from
+// NewWithConfig.
+func (s *Server) wireSweeper(repairInterval time.Duration) {
 	if s.cluster == nil {
 		return
 	}
@@ -166,4 +181,33 @@ func (s *Server) wireSweeper() {
 		}
 		s.sweep.trigger()
 	})
+	// Drop-repair tick: write-through pushes shed on a full replicator
+	// queue leave their keys at R=1, and with stable membership nothing
+	// would ever resweep them. Watching the drop counter turns an
+	// overflow burst into one coalesced sweep per interval instead of a
+	// permanent under-replication.
+	if s.eng.Disk() == nil {
+		return
+	}
+	if repairInterval <= 0 {
+		repairInterval = defaultReplRepairInterval
+	}
+	stop := make(chan struct{})
+	s.sweep.stopRepair = stop
+	go func() {
+		tick := time.NewTicker(repairInterval)
+		defer tick.Stop()
+		last := s.cluster.ReplicationDropped()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if n := s.cluster.ReplicationDropped(); n != last {
+					last = n
+					s.sweep.trigger()
+				}
+			}
+		}
+	}()
 }

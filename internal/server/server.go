@@ -84,6 +84,16 @@ type Config struct {
 	// transports is the caller's job — this reference only makes the
 	// injection observable.
 	Fault *fault.Injector
+	// Speculate enables speculative artifact precomputation: a spawn-
+	// point predictor over the request stream (internal/spec) launches
+	// predicted cold artifacts on idle scheduler workers. Off by
+	// default; /v1 responses are byte-identical either way.
+	Speculate bool
+	// ReplRepairInterval paces the replication drop-repair tick (0 =
+	// 2s): accumulated write-through drops trigger a coalescing
+	// re-replication sweep so an overflow burst converges back to R
+	// copies without waiting for a membership change.
+	ReplRepairInterval time.Duration
 }
 
 // Server shares one engine across all requests.
@@ -94,7 +104,8 @@ type Server struct {
 	requests atomic.Uint64
 	sweep    sweeper
 
-	gate            *admit.Gate // nil = admission disabled
+	gate            *admit.Gate  // nil = admission disabled
+	spec            *speculation // nil = speculation disabled
 	defaultDeadline time.Duration
 	fault           *fault.Injector // nil = no injection
 	draining        atomic.Bool
@@ -146,8 +157,11 @@ func NewWithConfig(eng *engine.Engine, cl *shard.Cluster, cfg Config) *Server {
 			MaxWait:    cfg.AdmitMaxWait,
 		})
 	}
+	if cfg.Speculate {
+		s.spec = newSpeculation(s)
+	}
 	s.sweep.s = s
-	s.wireSweeper()
+	s.wireSweeper(cfg.ReplRepairInterval)
 	return s
 }
 
@@ -157,9 +171,14 @@ func NewWithConfig(eng *engine.Engine, cl *shard.Cluster, cfg Config) *Server {
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Close stops the server's background work (the re-replication
-// sweeper), waiting for an active sweep to finish. It does not close
-// the engine or the cluster — the caller owns those.
-func (s *Server) Close() { s.sweep.close() }
+// sweeper and the speculator), waiting for an active sweep to finish.
+// It does not close the engine or the cluster — the caller owns those.
+func (s *Server) Close() {
+	if s.spec != nil {
+		s.spec.close()
+	}
+	s.sweep.close()
+}
 
 // Engine returns the server's engine (for tests and embedding).
 func (s *Server) Engine() *engine.Engine { return s.eng }
@@ -322,9 +341,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusBadRequest, err), err)
+		s.computeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.noteAnalyze(req.Bench, sz)
 	writeJSON(w, http.StatusOK, analyzeResponse{
 		Bench:       b.Name,
 		Size:        suite.Size.String(),
@@ -410,12 +430,12 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusBadRequest, err), err)
+		s.computeError(w, http.StatusBadRequest, err)
 		return
 	}
 	tab, err := suite.Table(b, req.Policy)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
+		s.computeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp := pairsResponse{
@@ -515,14 +535,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	suite, b, err := s.bench(r.Context(), req.Bench, sz)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusBadRequest, err), err)
+		s.computeError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := suite.Sim(b, sp)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
+		s.computeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.noteSim(sz, sp)
 	writeJSON(w, http.StatusOK, simulateResponse{
 		Bench: b.Name, Size: suite.Size.String(), Policy: req.Policy, TUs: req.TUs, Result: res,
 	})
@@ -582,12 +603,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	suite, err := expt.NewSuiteEngineCtx(r.Context(), s.eng, sz, names)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
+		s.computeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	tab, err := suite.Run(id)
 	if err != nil {
-		writeError(w, computeStatus(http.StatusInternalServerError, err), err)
+		s.computeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, figureResponse{
@@ -671,6 +692,9 @@ type statsResponse struct {
 	// counters (testing only).
 	Admit *admit.Stats `json:"admit,omitempty"`
 	Fault *fault.Stats `json:"fault,omitempty"`
+	// Spec is the speculative-precomputation view (present when the
+	// server runs with Config.Speculate).
+	Spec *specStats `json:"spec,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -685,6 +709,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.fault != nil {
 		fs := s.fault.Stats()
 		resp.Fault = &fs
+	}
+	if s.spec != nil {
+		ss := s.spec.stats()
+		resp.Spec = &ss
 	}
 	if s.cluster != nil {
 		st := s.cluster.Stats()

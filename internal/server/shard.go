@@ -403,6 +403,11 @@ func (s *Server) handleBatchSharded(w http.ResponseWriter, r *http.Request,
 			if ln.err != "" {
 				out = batchError{Index: i, Error: ln.err}
 			} else {
+				// Observe the full merged stream (the Eligible hook
+				// confines launches to self-owned keys; learning the
+				// whole progression costs nothing and survives
+				// membership moves).
+				s.noteSim(sz, resolved[i])
 				out = batchLine{
 					Index:  i,
 					Bench:  resolved[i].Bench,

@@ -1,0 +1,486 @@
+// Speculation + correctness-fix suite: speculative precomputation must
+// be byte-invisible on /v1 (on vs off, idle vs saturated) while its
+// hits eliminate demand-path recompute; and the three correctness
+// regressions — the warm-probe/compute TOCTOU in admission, the
+// sub-millisecond deadline truncation, and replication drop repair —
+// each carry a test that fails on the old code.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/engine/codec"
+	"repro/internal/expt"
+	"repro/internal/fault"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// simSpec returns the resolved SimSpec (and its artifact key) for the
+// canonical compress/test/profile request at the given TU count —
+// matching the defaults handleSimulate applies.
+func simSpec(tus int) (expt.SimSpec, string) {
+	sp := expt.SimSpec{Bench: "compress", Policy: "profile", TUs: tus, Predictor: cluster.Perfect}
+	return sp, expt.SimKey(workload.SizeTest, sp)
+}
+
+func simBody(tus int) string {
+	return fmt.Sprintf(`{"bench":"compress","size":"test","tus":%d}`, tus)
+}
+
+// TestSpeculationDeterminism is the tentpole acceptance test: train the
+// predictor on a tus=1→tus=2 progression, evict the tus=2 artifact,
+// and check that re-requesting tus=1 launches the tus=2 sim
+// speculatively on idle workers — so the next demand request is served
+// from the store with ZERO demand-path recompute and byte-identical to
+// a speculation-off server — without touching admission accounting.
+func TestSpeculationDeterminism(t *testing.T) {
+	// Reference bodies from a speculation-off server.
+	_, refTS := newTestServer(t)
+	resp, ref1 := postJSON(t, refTS.URL+"/v1/simulate", simBody(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference tus=1: status %d: %s", resp.StatusCode, ref1)
+	}
+	_, ref2 := postJSON(t, refTS.URL+"/v1/simulate", simBody(2))
+
+	eng := engine.New(engine.Options{Workers: 2})
+	srv := NewWithConfig(eng, nil, Config{Speculate: true, AdmitCapacity: 4})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Train: the sweep progression 1→2 is one observed transition.
+	resp, b1 := postJSON(t, ts.URL+"/v1/simulate", simBody(1))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b1, ref1) {
+		t.Fatalf("tus=1 with speculation on: status %d, parity %v", resp.StatusCode, bytes.Equal(b1, ref1))
+	}
+	resp, b2 := postJSON(t, ts.URL+"/v1/simulate", simBody(2))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b2, ref2) {
+		t.Fatalf("tus=2 with speculation on: status %d, parity %v", resp.StatusCode, bytes.Equal(b2, ref2))
+	}
+
+	// Evict the predicted artifact, then replay the predecessor: the
+	// predictor must launch tus=2 on an idle worker.
+	_, key2 := simSpec(2)
+	if !eng.Drop(key2) {
+		t.Fatalf("Drop(%q) found nothing to evict", key2)
+	}
+	admitBefore := srv.gate.Stats()
+	resp, b1b := postJSON(t, ts.URL+"/v1/simulate", simBody(1))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b1b, ref1) {
+		t.Fatalf("tus=1 replay: status %d, parity %v", resp.StatusCode, bytes.Equal(b1b, ref1))
+	}
+	// WastedBytes > 0 means the launch record landed AFTER Launch
+	// returned — the sim's Exec (and its latency observation) is fully
+	// retired before the demand-path meter below is snapshotted.
+	pollUntil(t, 15*time.Second, func() bool {
+		st := srv.spec.stats()
+		return st.Launches >= 1 && st.WastedBytes > 0 && eng.Has(key2)
+	})
+
+	// The speculative launch bypassed admission accounting entirely:
+	// only the tus=1 replay's warm bypass moved the gate counters.
+	admitAfter := srv.gate.Stats()
+	if admitAfter.Admitted != admitBefore.Admitted {
+		t.Errorf("speculative launch consumed admission: admitted %d → %d",
+			admitBefore.Admitted, admitAfter.Admitted)
+	}
+	if admitAfter.Bypassed != admitBefore.Bypassed+1 {
+		t.Errorf("bypassed %d → %d, want exactly the one demand replay",
+			admitBefore.Bypassed, admitAfter.Bypassed)
+	}
+
+	// Demand request for the predicted artifact: zero recompute (the
+	// sim latency histogram — one observation per executed sim — must
+	// not move) and byte-identical to the speculation-off run.
+	before := eng.Stats().Latency["sim"].Count
+	resp, b2b := postJSON(t, ts.URL+"/v1/simulate", simBody(2))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b2b, ref2) {
+		t.Fatalf("predicted demand request: status %d, parity %v", resp.StatusCode, bytes.Equal(b2b, ref2))
+	}
+	if after := eng.Stats().Latency["sim"].Count; after != before {
+		t.Errorf("demand request recomputed: sim runs %d → %d, want store hit", before, after)
+	}
+	st := srv.spec.stats()
+	if st.Hits < 1 || st.Accuracy <= 0 || st.Predictions < 1 {
+		t.Errorf("spec books after hit: %+v", st)
+	}
+
+	// Both observability views expose the books.
+	var stats statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Spec == nil || stats.Spec.Launches < 1 || stats.Spec.Hits < 1 {
+		t.Errorf("/v1/stats spec section: %+v", stats.Spec)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, family := range []string{
+		"spmt_spec_predictions_total", "spmt_spec_launches_total", "spmt_spec_hits_total",
+		"spmt_spec_accuracy", "spmt_spec_wasted_bytes", "spmt_spec_predictor_observations_total",
+	} {
+		if !strings.Contains(string(mb), family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+}
+
+// TestSpeculationUnderSaturationParity proves speculation stands down
+// under admission saturation instead of competing with demand work:
+// queued predictions are withdrawn (never launched), warm demand
+// traffic stays byte-identical throughout, recovery serves the evicted
+// artifact correctly, and no goroutines leak.
+func TestSpeculationUnderSaturationParity(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2})
+	srv := NewWithConfig(eng, nil, Config{
+		Speculate:     true,
+		AdmitCapacity: 1,
+		AdmitQueue:    1,
+		AdmitMaxWait:  10 * time.Second,
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Warm + train, then capture the steady-state goroutine count.
+	resp, ref1 := postJSON(t, ts.URL+"/v1/simulate", simBody(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up tus=1: status %d", resp.StatusCode)
+	}
+	resp, ref2 := postJSON(t, ts.URL+"/v1/simulate", simBody(2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up tus=2: status %d", resp.StatusCode)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	// Saturate: occupy the whole gate, then fill the single queue slot
+	// with a cold compute.
+	release, err := srv.gate.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan int, 1)
+	go func() {
+		r, _ := postJSON(t, ts.URL+"/v1/analyze", `{"bench":"ijpeg","size":"test"}`)
+		queued <- r.StatusCode
+	}()
+	pollUntil(t, 5*time.Second, func() bool { return srv.gate.Saturated() })
+
+	// A warm replay during saturation must answer byte-identically AND
+	// have its prediction withdrawn, not launched.
+	_, key2 := simSpec(2)
+	if !eng.Drop(key2) {
+		t.Fatalf("Drop(%q) found nothing to evict", key2)
+	}
+	resp, b1 := postJSON(t, ts.URL+"/v1/simulate", simBody(1))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b1, ref1) {
+		t.Fatalf("warm replay under saturation: status %d, parity %v", resp.StatusCode, bytes.Equal(b1, ref1))
+	}
+	pollUntil(t, 5*time.Second, func() bool { return srv.spec.stats().Withdrawn >= 1 })
+	if st := srv.spec.stats(); st.Launches != 0 {
+		t.Errorf("speculation launched during saturation: %+v", st)
+	}
+
+	// Recover: the queued compute admits, and the evicted artifact is
+	// served correctly on demand (cold compute, same bytes).
+	release()
+	select {
+	case code := <-queued:
+		if code != http.StatusOK {
+			t.Errorf("queued request after release: status %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("queued request never completed after release")
+	}
+	resp, b2 := postJSON(t, ts.URL+"/v1/simulate", simBody(2))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(b2, ref2) {
+		t.Fatalf("post-recovery tus=2: status %d, parity %v", resp.StatusCode, bytes.Equal(b2, ref2))
+	}
+
+	// No goroutines leaked by the withdraw/launch machinery.
+	http.DefaultClient.CloseIdleConnections()
+	pollUntil(t, 10*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+3
+	})
+}
+
+// TestAdmitRecheckClosesTOCTOU is the admission regression test: a
+// request classified warm by the handler's index probe bypasses the
+// gate, but if the artifact is gone by the time Exec commits to
+// computing (here: resident only in a disk tier whose reads fail), the
+// compute-time re-check must refuse under a full gate. The old code
+// computed ungated and answered 200.
+func TestAdmitRecheckClosesTOCTOU(t *testing.T) {
+	// Warm a store directory with one sim artifact, then shut the
+	// engine down cleanly.
+	dir := t.TempDir()
+	disk1, err := engine.OpenDiskTier(dir, 0, codec.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := engine.New(engine.Options{Workers: 2, Disk: disk1})
+	ts1 := httptest.NewServer(New(eng1).Handler())
+	resp, ref := postJSON(t, ts1.URL+"/v1/simulate", simBody(4))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up: status %d: %s", resp.StatusCode, ref)
+	}
+	ts1.Close()
+	eng1.Close()
+
+	// Restart over the same directory: the sim artifact is indexed on
+	// disk (so the warm probe passes) but not in memory. The bench
+	// chain is rebuilt up front while the gate is free, because the
+	// simulate probe needs Has(benchKey) too.
+	inj := fault.New(3)
+	disk2, err := engine.OpenDiskTier(dir, 0, codec.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk2.SetFaults(inj)
+	eng2 := engine.New(engine.Options{Workers: 2, Disk: disk2})
+	t.Cleanup(eng2.Close)
+	srv := NewWithConfig(eng2, nil, Config{
+		AdmitCapacity: 1,
+		AdmitQueue:    1,
+		AdmitMaxWait:  100 * time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if resp, body := postJSON(t, ts.URL+"/v1/analyze", `{"bench":"compress","size":"test"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bench rebuild: status %d: %s", resp.StatusCode, body)
+	}
+	_, simKey := simSpec(4)
+	if !eng2.Has(simKey) {
+		t.Fatalf("restart lost the disk index for %q", simKey)
+	}
+
+	// Occupy the whole gate, then make every disk read fail: the
+	// request classifies warm, bypasses the gate, and discovers at
+	// compute time that the artifact is unreadable.
+	release, err := srv.gate.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Enable(fault.DiskRead, 1, 0)
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", simBody(4))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("stale-warm compute under a full gate: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("compute-time 429 must carry Retry-After")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Errorf("429 body is not the error envelope: %q", body)
+	}
+	if st := srv.gate.Stats(); st.RejectedWait == 0 && st.RejectedFull == 0 {
+		t.Errorf("the gate never saw the compute-time acquisition: %+v", st)
+	}
+
+	// Release the gate: the same request now admits at compute time,
+	// recomputes (reads still fail), and answers byte-identically.
+	release()
+	admitted := srv.gate.Stats().Admitted
+	resp, body = postJSON(t, ts.URL+"/v1/simulate", simBody(4))
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, ref) {
+		t.Fatalf("recompute after release: status %d, parity %v", resp.StatusCode, bytes.Equal(body, ref))
+	}
+	if srv.gate.Stats().Admitted == admitted {
+		t.Error("recompute never acquired the gate (still running ungated)")
+	}
+}
+
+// TestDeadlineZeroHeaderIsSpentBudget is the deadline regression test:
+// an explicit X-Spmt-Deadline of 0 means the sender's budget is SPENT,
+// not absent. Cold compute must answer 504 without running anything;
+// warm, store-resolvable requests still answer 200 byte-identically.
+// The old code ignored the header and granted an unbounded budget.
+func TestDeadlineZeroHeaderIsSpentBudget(t *testing.T) {
+	srv, ts := newTestServer(t)
+	do := func(deadline string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/simulate", strings.NewReader(simBody(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if deadline != "" {
+			req.Header.Set(shard.DeadlineHeader, deadline)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, body
+	}
+
+	resp, body := do("0")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("cold compute with a spent budget: status %d, want 504: %s", resp.StatusCode, body)
+	}
+	if got := srv.Engine().Stats().Latency["sim"].Count; got != 0 {
+		t.Errorf("spent-budget request ran %d sims, want 0", got)
+	}
+
+	resp, ref := do("")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unbudgeted compute: status %d: %s", resp.StatusCode, ref)
+	}
+	resp, body = do("0")
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, ref) {
+		t.Fatalf("warm request with a spent budget: status %d, parity %v (store hits need no budget)",
+			resp.StatusCode, bytes.Equal(body, ref))
+	}
+}
+
+// TestDeadlineTinyBudgetAcrossHops drives a ~1ms budget through a
+// two-node forward: with every worker pinned, no hop may compute, and
+// the client must get a clean 504 — never a 200 minted on a hop that
+// misread the sub-millisecond remainder as "no deadline".
+func TestDeadlineTinyBudgetAcrossHops(t *testing.T) {
+	nodes := startTestCluster(t, 2)
+
+	// Pick a spec owned by the far node so the entry hop forwards.
+	tus := 0
+	for c := 1; c <= 64; c++ {
+		_, key := simSpec(c)
+		if nodes[0].srv.Cluster().Owner(key) == nodes[1].url {
+			tus = c
+			break
+		}
+	}
+	if tus == 0 {
+		t.Fatal("no spec in 1..64 is owned by node 1")
+	}
+	for _, n := range nodes {
+		release := blockEngineWorker(t, n.srv.Engine(), 2)
+		defer release()
+	}
+
+	req, err := http.NewRequest("POST", nodes[0].url+"/v1/simulate", strings.NewReader(simBody(tus)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(shard.DeadlineHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("1ms budget across two pinned hops: status %d, want 504: %s", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Errorf("504 body is not the error envelope: %q", body)
+	}
+}
+
+// TestReplicationDropRepair is the replication regression test: a
+// replicator whose queue overflows (capacity 1, no workers) leaves
+// every computed artifact at R=1, and with STABLE membership nothing
+// used to repair that. The drop-repair tick must notice the
+// accumulated drops and trigger sweeps until every disk key is
+// resident on every member of its replica set.
+func TestReplicationDropRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication repair suite is slow")
+	}
+	const n = 2
+	nodes := make([]*clusterNode, n)
+	urls := make([]string, n)
+	switches := make([]*switchHandler, n)
+	for i := range nodes {
+		switches[i] = &switchHandler{}
+		ts := httptest.NewServer(switches[i])
+		t.Cleanup(ts.Close)
+		nodes[i] = &clusterNode{ts: ts, url: ts.URL}
+		urls[i] = ts.URL
+	}
+	for i := range nodes {
+		cl, err := shard.New(urls[i], urls, shard.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk, err := engine.OpenDiskTier(t.TempDir(), 0, codec.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl := shard.NewReplicatorOpts(cl, codec.New(), shard.ReplicatorOptions{QueueCap: 1, Workers: -1})
+		eng := engine.New(engine.Options{
+			Workers:   2,
+			Disk:      disk,
+			Remote:    shard.NewFetcher(cl, codec.New()),
+			Replicate: repl,
+		})
+		t.Cleanup(eng.Close)
+		t.Cleanup(repl.Close)
+		nodes[i].srv = NewWithConfig(eng, cl, Config{ReplRepairInterval: 25 * time.Millisecond})
+		t.Cleanup(nodes[i].srv.Close)
+		switches[i].set(nodes[i].srv.Handler())
+	}
+
+	// Compute enough artifacts that the 1-slot queue must shed.
+	for _, req := range parityRequests()[:4] {
+		if status, body := doRequest(t, nodes[0].url, req); status != http.StatusOK {
+			t.Fatalf("warm-up %s: status %d: %s", req.name, status, body)
+		}
+	}
+	var dropped uint64
+	for _, node := range nodes {
+		dropped += node.srv.Cluster().Stats().Replication.Dropped
+	}
+	if dropped == 0 {
+		t.Fatal("the overflow burst never dropped a push — the test proved nothing")
+	}
+
+	// Membership never changes from here on: only the drop-repair tick
+	// can start the sweeps that restore R=2.
+	byURL := make(map[string]*clusterNode, n)
+	for _, node := range nodes {
+		byURL[node.url] = node
+	}
+	waitFor(t, "drop-repair convergence to R=2", func() bool {
+		for _, node := range nodes {
+			node.srv.Engine().Disk().Flush() // the sweep scans the disk index
+		}
+		for _, node := range nodes {
+			for _, key := range node.srv.Engine().Disk().Keys() {
+				for _, owner := range node.srv.Cluster().ReplicaSet(key) {
+					if o := byURL[owner]; o != nil && !o.srv.Engine().Has(key) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	var sweeps uint64
+	for _, node := range nodes {
+		sweeps += node.srv.Cluster().Stats().Replication.Sweeps
+	}
+	if sweeps == 0 {
+		t.Error("convergence without a sweep — who repaired the replicas?")
+	}
+}

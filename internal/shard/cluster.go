@@ -572,17 +572,22 @@ func setTraceHeader(ctx context.Context, req *http.Request) {
 }
 
 // setDeadlineHeader stamps the context's remaining budget onto an
-// intra-cluster request as whole milliseconds (floor 1ms: a positive
-// remainder must never round to "already expired" on the receiver).
+// intra-cluster request as whole milliseconds, rounded UP so a
+// positive sub-millisecond remainder never truncates to a value the
+// receiver could confuse with "no budget". A budget already spent is
+// stamped as an explicit "0", which the receiver treats as expired —
+// distinct from an absent header, which means no deadline at all.
 func setDeadlineHeader(ctx context.Context, req *http.Request) {
 	dl, ok := ctx.Deadline()
 	if !ok {
 		return
 	}
-	ms := time.Until(dl).Milliseconds()
-	if ms < 1 {
-		ms = 1
+	rem := time.Until(dl)
+	if rem <= 0 {
+		req.Header.Set(DeadlineHeader, "0")
+		return
 	}
+	ms := int64((rem + time.Millisecond - 1) / time.Millisecond)
 	req.Header.Set(DeadlineHeader, fmt.Sprintf("%d", ms))
 }
 

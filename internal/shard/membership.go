@@ -276,6 +276,13 @@ func (c *Cluster) ReplicaSet(key string) []string {
 // Replicas returns the configured replication factor R.
 func (c *Cluster) Replicas() int { return c.replicas }
 
+// ReplicationDropped returns the cumulative count of write-through
+// pushes shed by the replicator's full queue — the drop counter the
+// server's repair tick watches to trigger a coalescing re-replication
+// sweep (a drop otherwise leaves its key at R=1 until the next
+// membership change).
+func (c *Cluster) ReplicationDropped() uint64 { return c.replDropped.Load() }
+
 // membershipPath is the gossip endpoint; joinPath/leavePath the
 // operator-facing membership mutations.
 const (

@@ -48,12 +48,31 @@ type Replicator struct {
 	wg     sync.WaitGroup
 }
 
+// ReplicatorOptions sizes a Replicator. Zero values select the
+// package defaults; Workers < 0 starts none (tests use a worker-less
+// replicator to force deterministic queue overflow).
+type ReplicatorOptions struct {
+	QueueCap int
+	Workers  int
+}
+
 // NewReplicator starts the push workers for cl, encoding artifacts
 // with codec (the same codec the peers' artifact endpoints decode
 // with).
 func NewReplicator(cl *Cluster, codec engine.Codec) *Replicator {
-	r := &Replicator{cl: cl, codec: codec, queue: make(chan replJob, replQueueCap)}
-	for i := 0; i < replWorkers; i++ {
+	return NewReplicatorOpts(cl, codec, ReplicatorOptions{})
+}
+
+// NewReplicatorOpts is NewReplicator with explicit queue/worker sizing.
+func NewReplicatorOpts(cl *Cluster, codec engine.Codec, opts ReplicatorOptions) *Replicator {
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = replQueueCap
+	}
+	if opts.Workers == 0 {
+		opts.Workers = replWorkers
+	}
+	r := &Replicator{cl: cl, codec: codec, queue: make(chan replJob, opts.QueueCap)}
+	for i := 0; i < opts.Workers; i++ {
 		r.wg.Add(1)
 		go r.worker()
 	}

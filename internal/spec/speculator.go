@@ -1,0 +1,269 @@
+package spec
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Options configures a Speculator. Submit and Launch are required;
+// the remaining hooks default to permissive no-ops.
+type Options struct {
+	// QueueLimit bounds the prediction queue (<=0 selects 64).
+	// Predictions enqueued past the bound are dropped and counted —
+	// speculation sheds itself before it sheds anything else.
+	QueueLimit int
+	// Paused reports that speculation should stand down right now
+	// (admission gate saturated, server draining). Checked both when a
+	// prediction is dequeued and again when its task is claimed by an
+	// idle worker, so a prediction queued before saturation is
+	// withdrawn rather than computed during it.
+	Paused func() bool
+	// Eligible reports whether key is worth launching: typically
+	// "self-owned by the shard ring and not already in the store".
+	Eligible func(key string) bool
+	// Launch computes the predicted artifact under ctx and returns its
+	// approximate stored size in bytes. It runs on a scheduler worker
+	// claimed from the speculative queue.
+	Launch func(ctx context.Context, p Prediction) (bytes int64, err error)
+	// Submit hands fn to the scheduler's speculative (idle-only) task
+	// class, returning the task's completion channel and a withdraw
+	// function (sched.Scheduler.Speculate).
+	Submit func(fn func()) (done <-chan struct{}, cancel func())
+}
+
+// launchRecord is the hit-accounting entry of one launched artifact.
+type launchRecord struct {
+	key   string
+	bytes int64
+	hit   bool
+}
+
+// Speculator drains a bounded queue of predictions through the
+// scheduler's idle-only task class, one launch at a time — speculation
+// never holds more than one worker even on an idle pool, so a demand
+// burst finds the pool at full strength minus at most one task that is
+// stolen last anyway. It keeps the paper's spawn-scheme books: every
+// launched artifact is remembered (bounded LRU) so a later demand
+// request for its key counts as a hit and reclaims its bytes from the
+// wasted-bytes gauge. All methods are safe for concurrent use.
+type Speculator struct {
+	opts   Options
+	queue  chan Prediction
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu          sync.Mutex
+	ll          *list.List // launched-record LRU, MRU at front
+	launched    map[string]*list.Element
+	predictions uint64
+	launches    uint64
+	hits        uint64
+	withdrawn   uint64
+	skipped     uint64
+	errors      uint64
+	dropped     uint64
+	wastedBytes int64
+}
+
+// launchedCap bounds the hit-accounting LRU. A record evicted before
+// its key is requested stays counted as wasted — by then it has sat
+// unused through launchedCap subsequent launches.
+const launchedCap = 1024
+
+// NewSpeculator starts the launcher goroutine. Close releases it.
+func NewSpeculator(opts Options) *Speculator {
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 64
+	}
+	if opts.Paused == nil {
+		opts.Paused = func() bool { return false }
+	}
+	if opts.Eligible == nil {
+		opts.Eligible = func(string) bool { return true }
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sp := &Speculator{
+		opts:     opts,
+		queue:    make(chan Prediction, opts.QueueLimit),
+		ctx:      ctx,
+		cancel:   cancel,
+		ll:       list.New(),
+		launched: make(map[string]*list.Element),
+	}
+	sp.wg.Add(1)
+	go sp.run()
+	return sp
+}
+
+// Enqueue queues predictions for launch, dropping (and counting) any
+// past the queue bound. Predictions for keys already launched and not
+// yet evicted from the accounting LRU are skipped up front — a sweep
+// that revisits its own trained pattern must not relaunch the world.
+func (sp *Speculator) Enqueue(preds []Prediction) {
+	for _, p := range preds {
+		sp.mu.Lock()
+		sp.predictions++
+		_, seen := sp.launched[p.Key]
+		sp.mu.Unlock()
+		if seen {
+			continue
+		}
+		select {
+		case sp.queue <- p:
+		default:
+			sp.mu.Lock()
+			sp.dropped++
+			sp.mu.Unlock()
+		}
+	}
+}
+
+// run is the launcher: pop a prediction, vet it, hand it to the
+// idle-only task class, wait for that single task to finish before
+// popping the next.
+func (sp *Speculator) run() {
+	defer sp.wg.Done()
+	for {
+		select {
+		case <-sp.ctx.Done():
+			return
+		case p := <-sp.queue:
+			if sp.opts.Paused() {
+				sp.count(&sp.withdrawn)
+				continue
+			}
+			if !sp.opts.Eligible(p.Key) {
+				sp.count(&sp.skipped)
+				continue
+			}
+			done, cancel := sp.opts.Submit(func() { sp.launch(p) })
+			select {
+			case <-done:
+			case <-sp.ctx.Done():
+				cancel()
+				return
+			}
+		}
+	}
+}
+
+// launch runs on a scheduler worker claimed from the speculative
+// queue. Conditions are re-checked here — at claim time — so a task
+// queued healthy but claimed during saturation or drain withdraws
+// instead of computing.
+func (sp *Speculator) launch(p Prediction) {
+	if sp.ctx.Err() != nil || sp.opts.Paused() {
+		sp.count(&sp.withdrawn)
+		return
+	}
+	if !sp.opts.Eligible(p.Key) {
+		sp.count(&sp.skipped)
+		return
+	}
+	sp.mu.Lock()
+	sp.launches++
+	sp.mu.Unlock()
+	bytes, err := sp.opts.Launch(sp.ctx, p)
+	if err != nil {
+		sp.count(&sp.errors)
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if _, ok := sp.launched[p.Key]; !ok {
+		if sp.ll.Len() >= launchedCap {
+			old := sp.ll.Back()
+			sp.ll.Remove(old)
+			delete(sp.launched, old.Value.(*launchRecord).key)
+		}
+		sp.launched[p.Key] = sp.ll.PushFront(&launchRecord{key: p.Key, bytes: bytes})
+		sp.wastedBytes += bytes
+	}
+}
+
+// MarkDemand tells the speculator a demand request for key arrived; it
+// reports whether that request hit a speculatively-launched artifact
+// (first demand only — a hit is scored once, like the paper scores a
+// spawned thread that commits).
+func (sp *Speculator) MarkDemand(key string) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	el, ok := sp.launched[key]
+	if !ok {
+		return false
+	}
+	rec := el.Value.(*launchRecord)
+	if rec.hit {
+		return false
+	}
+	rec.hit = true
+	sp.hits++
+	sp.wastedBytes -= rec.bytes
+	return true
+}
+
+// count bumps one counter under the lock.
+func (sp *Speculator) count(c *uint64) {
+	sp.mu.Lock()
+	*c++
+	sp.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of speculation activity.
+type Stats struct {
+	// Predictions counts every prediction handed to Enqueue; Launches
+	// counts speculative computations started; Hits counts launched
+	// artifacts later requested on the demand path.
+	Predictions uint64 `json:"predictions"`
+	Launches    uint64 `json:"launches"`
+	Hits        uint64 `json:"hits"`
+	// Withdrawn counts predictions stood down because the server was
+	// saturated or draining; Skipped counts predictions vetoed by the
+	// eligibility hook (already stored, not self-owned); Errors counts
+	// failed launches; Dropped counts predictions shed by the bounded
+	// queue.
+	Withdrawn uint64 `json:"withdrawn"`
+	Skipped   uint64 `json:"skipped"`
+	Errors    uint64 `json:"errors"`
+	Dropped   uint64 `json:"dropped"`
+	// WastedBytes is the store bytes held by launched artifacts no
+	// demand request has asked for (the misprediction cost gauge);
+	// Accuracy is Hits/Launches — the paper's spawn-scheme accuracy
+	// analogue (0 when nothing has launched).
+	WastedBytes int64   `json:"wasted_bytes"`
+	Accuracy    float64 `json:"accuracy"`
+	// QueueDepth is the instantaneous prediction-queue depth.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Stats snapshots the speculator counters.
+func (sp *Speculator) Stats() Stats {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	st := Stats{
+		Predictions: sp.predictions,
+		Launches:    sp.launches,
+		Hits:        sp.hits,
+		Withdrawn:   sp.withdrawn,
+		Skipped:     sp.skipped,
+		Errors:      sp.errors,
+		Dropped:     sp.dropped,
+		WastedBytes: sp.wastedBytes,
+		QueueDepth:  len(sp.queue),
+	}
+	if sp.launches > 0 {
+		st.Accuracy = float64(sp.hits) / float64(sp.launches)
+	}
+	return st
+}
+
+// Close stops the launcher, withdrawing any not-yet-started task, and
+// cancels the context handed to in-flight launches. It does not wait
+// for an already-running launch body — that body runs on a scheduler
+// worker and aborts at its next context check.
+func (sp *Speculator) Close() {
+	sp.cancel()
+	sp.wg.Wait()
+}

@@ -10,6 +10,11 @@
 # seeded peer-latency fault injection and asserts the suite is still
 # byte-identical. Node readiness is gated on /readyz throughout (the
 # liveness-only /healthz would pass during drain or gate saturation).
+#
+# Every cluster node runs -speculate while the reference does NOT:
+# each parity check therefore also proves speculative precomputation
+# never changes a response byte — through kills, rejoins, sweeps, and
+# injected faults.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,7 +44,7 @@ start_node() { # idx api ops extra-flags...
   local i=$1 api=$2 ops=$3
   shift 3
   "$BIN" -addr "127.0.0.1:$api" -ops-addr "127.0.0.1:$ops" -parallel 2 \
-    -store-dir "$STORE/node$i" -self "http://127.0.0.1:$api" \
+    -store-dir "$STORE/node$i" -self "http://127.0.0.1:$api" -speculate \
     -probe-interval 200ms -probe-timeout 500ms -probe-failures 2 \
     "$@" >>"$LOG/node$i.log" 2>&1 &
   pids+=($!)
@@ -178,4 +183,13 @@ decisions=$(curl -fsS "http://127.0.0.1:$OPS2/metrics" |
   awk '/^spmt_fault_decisions_total\{/{s+=$2} END{print s+0}' | cut -d. -f1)
 [ "$decisions" -gt 0 ] || fail "fault injector made no peer-call decisions on the injected node"
 
-echo "cluster_chaos_smoke: OK (received=$received after rejoin; zero recompute degraded/rejoined; $decisions fault decisions under injected latency)"
+# The parity phases above all ran with -speculate armed; prove the
+# predictor actually engaged (the suite replays its own request stream,
+# so the second pass through each entry node must predict).
+predictions=0
+for port in "$OPS0" "$OPS1" "$OPS2"; do
+  predictions=$((predictions + $(metric "$port" spmt_spec_predictions_total | cut -d. -f1)))
+done
+[ "$predictions" -gt 0 ] || fail "no node made a speculation prediction; the parity phases proved nothing about -speculate"
+
+echo "cluster_chaos_smoke: OK (received=$received after rejoin; zero recompute degraded/rejoined; $decisions fault decisions under injected latency; $predictions speculation predictions)"

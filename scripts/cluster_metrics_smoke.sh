@@ -22,10 +22,10 @@ cleanup() {
 trap cleanup EXIT
 
 PEERS="http://127.0.0.1:$API0,http://127.0.0.1:$API1"
-"$BIN" -addr "127.0.0.1:$API0" -ops-addr "127.0.0.1:$OPS0" -parallel 2 \
+"$BIN" -addr "127.0.0.1:$API0" -ops-addr "127.0.0.1:$OPS0" -parallel 2 -speculate \
   -self "http://127.0.0.1:$API0" -peers "$PEERS" >"$LOG/node0.log" 2>&1 &
 pids+=($!)
-"$BIN" -addr "127.0.0.1:$API1" -ops-addr "127.0.0.1:$OPS1" -parallel 2 \
+"$BIN" -addr "127.0.0.1:$API1" -ops-addr "127.0.0.1:$OPS1" -parallel 2 -speculate \
   -self "http://127.0.0.1:$API1" -peers "$PEERS" >"$LOG/node1.log" 2>&1 &
 pids+=($!)
 
@@ -97,7 +97,15 @@ check_scrape() {
     spmt_admit_rejected_total \
     spmt_breaker_opens_total \
     spmt_breaker_fast_fails_total \
-    spmt_breaker_open_circuits; do
+    spmt_breaker_open_circuits \
+    spmt_spec_predictions_total \
+    spmt_spec_launches_total \
+    spmt_spec_hits_total \
+    spmt_spec_withdrawn_total \
+    spmt_spec_queue_depth \
+    spmt_spec_accuracy \
+    spmt_spec_predictor_states \
+    spmt_spec_predictor_observations_total; do
     if ! grep -q "^$series" "$out"; then
       echo "cluster_metrics_smoke: $url is missing series $series" >&2
       exit 1
